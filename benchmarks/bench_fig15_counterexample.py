@@ -1,0 +1,51 @@
+"""Fig. 15: queue sizing succeeds where relay-station insertion cannot.
+
+Certifies by exhaustive search that no assignment of up to two extra
+relay stations recovers the ideal MST of the Fig. 15 LIS, while the
+exact queue-sizing solution does with two tokens; benchmarks the
+certification search.
+"""
+
+from fractions import Fraction
+
+from repro.core import actual_mst, ideal_mst, size_queues
+from repro.core.relay_opt import relay_insertion_can_restore
+from repro.experiments import render_table
+from repro.gen import fig15_lis
+
+
+def test_fig15_counterexample(benchmark, publish):
+    lis = fig15_lis()
+
+    ok, search = benchmark(
+        lambda: relay_insertion_can_restore(fig15_lis(), max_added=2)
+    )
+    assert not ok  # Section VI's counterexample, certified
+
+    ideal = ideal_mst(lis).mst
+    degraded = actual_mst(lis).mst
+    qs = size_queues(lis, method="exact")
+
+    assert ideal == Fraction(5, 6)
+    assert degraded == Fraction(3, 4)
+    assert search.actual < ideal
+    assert qs.cost == 2 and qs.achieved == ideal
+
+    rows = [
+        ["ideal MST", ideal, "cycle {A, rs, E, D, C, B}"],
+        ["doubled, q=1", degraded, "cycle {A, rs, E, /C, /A}"],
+        [
+            "best relay insertion (<= 2 added)",
+            search.actual,
+            f"{search.evaluated} assignments searched",
+        ],
+        ["exact queue sizing", qs.achieved, f"{qs.cost} tokens on (A,C), (C,E)"],
+    ]
+    publish(
+        "fig15_counterexample",
+        render_table(
+            ["configuration", "MST", "note"],
+            rows,
+            title="Fig. 15 - relay insertion cannot recover the ideal MST",
+        ),
+    )

@@ -1,0 +1,59 @@
+"""Fig. 16: MST with infinite vs finite queues, per insertion policy.
+
+Sweeps the relay-station count on generated systems (v=50, s=5, c=5,
+rp=1) and reports the average MST for infinite queues (the ideal LIS)
+and finite uniform queues, for both relay-insertion policies.  Shape
+checks: *scc* insertion keeps the ideal MST at 1.0 and degrades
+15-30%-ish with q=1, while *any* insertion degrades the ideal itself
+and barely responds to queue size.
+"""
+
+from repro.experiments import fig16_mst_degradation, render_table, trials
+
+
+RS_VALUES = [2, 6, 10, 14, 18]
+QUEUES = [1, 5, 10]
+
+
+def test_fig16_mst_degradation(benchmark, publish):
+    n_trials = trials()
+    series = benchmark.pedantic(
+        lambda: fig16_mst_degradation(RS_VALUES, QUEUES, trials=n_trials),
+        rounds=1,
+        iterations=1,
+    )
+
+    # --- shape assertions -------------------------------------------------
+    scc_inf = series[("scc", "inf")]
+    scc_q1 = series[("scc", "1")]
+    any_inf = series[("any", "inf")]
+    any_q1 = series[("any", "1")]
+    any_q10 = series[("any", "10")]
+    assert all(v == 1.0 for v in scc_inf)  # ideal stays optimal
+    assert all(0.5 <= v < 1.0 for v in scc_q1)  # finite queues degrade
+    # 'any' insertion degrades the ideal MST itself...
+    assert all(any_inf[i] < 1.0 for i in range(len(RS_VALUES)))
+    # ... lies below the scc-policy finite-queue MST ...
+    assert sum(any_q1) < sum(scc_q1)
+    # ... and queue size barely matters there.
+    assert all(
+        abs(any_q10[i] - any_q1[i]) < 0.05 for i in range(len(RS_VALUES))
+    )
+    # Larger queues monotonically help the scc policy.
+    assert sum(series[("scc", "10")]) >= sum(series[("scc", "5")]) >= sum(scc_q1)
+
+    rows = [
+        [f"{policy}/q={label}"] + [f"{v:.3f}" for v in values]
+        for (policy, label), values in sorted(series.items())
+    ]
+    publish(
+        "fig16_mst_degradation",
+        render_table(
+            ["policy/queues"] + [f"rs={rs}" for rs in RS_VALUES],
+            rows,
+            title=(
+                f"Fig. 16 - average MST vs relay stations "
+                f"(v=50, s=5, c=5, rp=1; {n_trials} trials)"
+            ),
+        ),
+    )

@@ -1,0 +1,36 @@
+"""Fig. 17: MST recovery with fixed uniform queues (scc insertion).
+
+Average actual/ideal MST ratio versus the uniform queue size q.  Shape
+checks against the paper: around 75-90% of optimal at q = 1, above 90%
+from q = 5, and monotone in q.
+"""
+
+from repro.experiments import fig17_fixed_queue_recovery, render_table, trials
+
+Q_VALUES = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+
+
+def test_fig17_fixed_qs(benchmark, publish):
+    n_trials = trials()
+    ratios = benchmark.pedantic(
+        lambda: fig17_fixed_queue_recovery(Q_VALUES, trials=n_trials),
+        rounds=1,
+        iterations=1,
+    )
+
+    values = [ratios[q] for q in Q_VALUES]
+    assert values == sorted(values)  # monotone recovery
+    assert 0.6 <= values[0] < 1.0  # q = 1 noticeably below optimal
+    assert all(v > 0.9 for q, v in ratios.items() if q >= 5)  # paper's claim
+
+    publish(
+        "fig17_fixed_qs",
+        render_table(
+            ["q"] + [str(q) for q in Q_VALUES],
+            [["MST/optimal"] + [f"{ratios[q]:.3f}" for q in Q_VALUES]],
+            title=(
+                f"Fig. 17 - MST improvement using fixed queues "
+                f"(scc insertion, rs=10, {n_trials} trials)"
+            ),
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Figs. 2/5/6: the running example's MST degradation and its fix.
+
+Checks the paper's numbers -- ideal MST 1, doubled MST 2/3 with q = 1
+(Fig. 5's critical cycle), recovery to 1 with one extra queue token
+(Fig. 6) or with a second relay station (Fig. 2, right) -- and
+benchmarks the static analysis kernel.
+"""
+
+from fractions import Fraction
+
+from repro.core import actual_mst, cycle_time, ideal_mst, size_queues
+from repro.experiments import render_table
+from repro.gen import fig1_lis, fig2_right_lis
+
+
+def test_fig5_fig6_example(benchmark, publish):
+    lis = fig1_lis()
+
+    result = benchmark(lambda: actual_mst(fig1_lis()))
+    assert result.mst == Fraction(2, 3)
+
+    ideal = ideal_mst(lis)
+    degraded = actual_mst(lis)
+    fixed_queue = actual_mst(lis, extra_tokens={1: 1})
+    relay_balanced = actual_mst(fig2_right_lis())
+    solution = size_queues(lis, method="exact")
+
+    assert ideal.mst == 1
+    assert cycle_time(lis.doubled_marked_graph()) == Fraction(3, 2)
+    assert len(degraded.critical) == 3  # {A, relay station, B, A}
+    assert fixed_queue.mst == 1
+    assert relay_balanced.mst == 1
+    assert solution.cost == 1 and solution.extra_tokens == {1: 1}
+
+    rows = [
+        ["ideal (infinite queues)", ideal.mst, "-"],
+        ["doubled, q=1 (Fig. 5)", degraded.mst, "cycle {A, rs, B, A}"],
+        ["doubled, lower queue = 2 (Fig. 6)", fixed_queue.mst, "+1 token"],
+        ["doubled, 2nd relay station (Fig. 2 right)", relay_balanced.mst, "-"],
+        ["exact QS solution", solution.achieved, f"{solution.cost} token(s)"],
+    ]
+    publish(
+        "fig5_fig6_example",
+        render_table(
+            ["configuration", "MST", "note"],
+            rows,
+            title="Figs. 2/5/6 - the running example",
+        ),
+    )

@@ -1,0 +1,88 @@
+"""The physical flow as an experiment: clock period vs throughput.
+
+Sweeps the target clock period of the COFDM transmitter through the
+floorplan -> wire-pipelining -> MST -> queue-sizing flow.  Asserts the
+monotonicities the paper's model implies (tighter clock => more relay
+stations => no higher ideal MST) and that queue sizing always recovers
+exactly the backpressure component of the loss.
+"""
+
+import random
+
+from repro.experiments import render_table
+from repro.physical import Block, WireModel, design_flow
+from repro.soc import BLOCKS, cofdm_transmitter
+
+CLOCKS = [2.0, 1.0, 0.7, 0.5, 0.35]
+
+
+def make_blocks(seed=1):
+    rng = random.Random(seed)
+    return [
+        Block(name, round(rng.uniform(0.6, 2.2), 2), round(rng.uniform(0.6, 2.2), 2))
+        for name in BLOCKS
+    ]
+
+
+def test_physical_flow_clock_sweep(benchmark, publish):
+    netlist = cofdm_transmitter()
+    blocks = make_blocks()
+
+    def sweep():
+        return [
+            design_flow(
+                netlist,
+                blocks,
+                WireModel(clock_period_ns=clock),
+                seed=7,
+                anneal_iterations=400,
+            )
+            for clock in CLOCKS
+        ]
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    relays = [r.relay_stations for r in reports]
+    ideals = [r.ideal for r in reports]
+    assert relays == sorted(relays)  # tighter clock, more stations
+    assert ideals == sorted(ideals, reverse=True)
+    for report in reports:
+        assert report.degraded <= report.ideal
+        assert report.sizing.restores_target
+        assert report.recovered == report.ideal
+        report.floorplan.validate()
+    # The relaxed end of the sweep needs no pipelining at all.
+    assert reports[0].relay_stations == 0
+    assert reports[0].ideal == 1
+
+    rows = [
+        [
+            f"{clock:.2f}",
+            r.relay_stations,
+            r.ideal,
+            r.degraded,
+            r.recovered,
+            r.sizing.cost,
+            f"{float(r.recovered) / clock:.3f}",
+        ]
+        for clock, r in zip(CLOCKS, reports)
+    ]
+    publish(
+        "physical_flow",
+        render_table(
+            [
+                "clock ns",
+                "relays",
+                "ideal MST",
+                "q=1 MST",
+                "sized MST",
+                "tokens",
+                "words/ns",
+            ],
+            rows,
+            title=(
+                "Physical flow - COFDM transmitter across target clock "
+                "periods (anneal seed 7)"
+            ),
+        ),
+    )

@@ -1,0 +1,55 @@
+"""Table I: output traces of the components in the Fig. 1 LIS.
+
+Regenerates the paper's introductory trace table with both simulators
+and benchmarks the data-carrying simulator's step loop.
+"""
+
+from repro.core import relay_name
+from repro.gen import fig1_lis
+from repro.lis import TAU, ShellBehavior, TraceSimulator, adder, simulate_rtl
+
+
+def behaviors():
+    state = {"k": 0}
+
+    def a_fn(_inputs):
+        state["k"] += 1
+        return {0: 2 * state["k"], 1: 2 * state["k"] + 1}
+
+    return {
+        "A": ShellBehavior(initial={0: 0, 1: 1}, fn=a_fn),
+        "B": adder(initial=0),
+    }
+
+
+def well_buffered_fig1():
+    lis = fig1_lis()
+    lis.set_queue(1, 2)  # behaves like the ideal LIS of Table I
+    return lis
+
+
+def test_table1_traces(benchmark, publish):
+    def run():
+        sim = TraceSimulator(well_buffered_fig1(), behaviors())
+        sim.run(4)
+        return sim.trace
+
+    trace = benchmark(run)
+    rs = relay_name(0, 0)
+
+    # Paper's Table I, exactly.
+    assert trace.row("A") == [0, 2, 4, 6]
+    assert trace.row(rs) == [TAU, 0, 2, 4]
+    assert trace.row("B") == [0, TAU, 1, 5]
+
+    # The independent RTL simulator produces the identical table.
+    rtl = simulate_rtl(well_buffered_fig1(), 4, behaviors())
+    assert rtl.row("A") == trace.row("A")
+    assert rtl.row(rs) == trace.row(rs)
+    assert rtl.row("B") == trace.row("B")
+
+    publish(
+        "table1_traces",
+        "Table I - output traces of the LIS of Fig. 1\n"
+        + trace.format_table(["A", rs, "B"]),
+    )

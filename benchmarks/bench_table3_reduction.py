@@ -1,0 +1,75 @@
+"""Section V / Table III: the Vertex-Cover -> Queue-Sizing reduction.
+
+Regenerates the proof's quantitative artifacts -- the Fig. 10 limiter
+(5/6), the Fig. 12 edge-construct cycle (4/6), the P-block accounting
+of Table III -- and validates the reduction end-to-end on small graphs
+(optimal QS cost == minimum vertex cover size).  Benchmarks the
+reduction + exact solve on a triangle instance.
+"""
+
+from fractions import Fraction
+
+from repro.core import deficient_cycles, ideal_mst, size_queues
+from repro.core.npcomplete import (
+    IDEAL_REDUCTION_MST,
+    PBLOCK_TABLE,
+    minimum_vertex_cover,
+    reduce_vertex_cover_to_qs,
+)
+from repro.experiments import render_table
+
+
+def solve_reduction(vertices, edges):
+    red = reduce_vertex_cover_to_qs(vertices, edges, len(vertices))
+    solution = size_queues(red.lis, method="exact")
+    return red, solution
+
+
+def test_table3_reduction(benchmark, publish):
+    red, solution = benchmark(
+        lambda: solve_reduction("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+    )
+    assert ideal_mst(red.lis).mst == IDEAL_REDUCTION_MST == Fraction(5, 6)
+    assert solution.restores_target
+
+    # Fig. 12: the per-VC-edge cycle has mean 4/6.
+    mg = red.lis.doubled_marked_graph()
+    fig12 = [
+        r
+        for r in deficient_cycles(mg, IDEAL_REDUCTION_MST)
+        if r.length == 6 and r.tokens == 4
+    ]
+    assert len(fig12) == 3  # one per triangle edge
+
+    cases = [
+        ("K2 (single edge)", "uv", [("u", "v")]),
+        ("path P3", "abc", [("a", "b"), ("b", "c")]),
+        ("triangle K3", "abc", [("a", "b"), ("b", "c"), ("a", "c")]),
+        ("star S3", "habc", [("h", "a"), ("h", "b"), ("h", "c")]),
+        ("C4 cycle", "abcd", [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]),
+    ]
+    rows = []
+    for name, vertices, edges in cases:
+        red_i, sol_i = solve_reduction(vertices, edges)
+        vc = len(minimum_vertex_cover(vertices, edges))
+        assert sol_i.cost == vc, name
+        rows.append([name, len(edges), vc, sol_i.cost, sol_i.achieved])
+
+    pblock_rows = [
+        [name, block.tokens, block.places]
+        for name, block in PBLOCK_TABLE.items()
+    ]
+    publish(
+        "table3_reduction",
+        render_table(
+            ["P-block", "tokens", "places"],
+            pblock_rows,
+            title="Table III - tokens and places per P-block",
+        )
+        + "\n\n"
+        + render_table(
+            ["VC instance", "|E|", "min cover", "optimal QS tokens", "MST"],
+            rows,
+            title="Reduction check: optimal QS cost == minimum vertex cover",
+        ),
+    )

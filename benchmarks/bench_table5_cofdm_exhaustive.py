@@ -1,0 +1,139 @@
+"""Table V: exhaustive insertion of two relay stations on the COFDM SoC.
+
+Sweeps all C(30, 2) = 435 placements (unless REPRO_COFDM_LIMIT caps
+it), solving every degrading placement with the heuristic and the
+optimal algorithm on both the original and the simplified
+token-deficit instance.  Shape checks: roughly half the placements
+degrade, average ideal/degraded throughputs land near the paper's
+0.81/0.71, the heuristic never beats the optimum, and simplification
+speeds both solvers up.  Also verifies the paper's q = 2 claims.
+"""
+
+from repro.experiments import cofdm_limit, exact_timeout, render_table
+from repro.soc import PAPER_REPORTED, run_exhaustive_insertion
+
+
+def test_table5_cofdm_exhaustive(benchmark, publish):
+    limit = cofdm_limit()
+    timeout = exact_timeout()
+    report = benchmark.pedantic(
+        lambda: run_exhaustive_insertion(exact_timeout=timeout, limit=limit),
+        rounds=1,
+        iterations=1,
+    )
+    summary = report.summary()
+
+    if limit is None:
+        assert summary["insertions"] == PAPER_REPORTED["insertions"] == 435
+        # Roughly half the placements degrade (paper: 52%).
+        assert 0.35 <= summary["degraded_fraction"] <= 0.75
+    assert report.degraded
+    assert 0.70 <= summary["ideal_throughput_avg"] <= 0.92
+    assert summary["degraded_throughput_avg"] < summary["ideal_throughput_avg"]
+    assert (
+        summary["heuristic_tokens_orig"] >= summary["optimal_tokens_orig"]
+    )
+    # Simplification never worsens the optimal solution.
+    assert (
+        summary["optimal_tokens_simplified"]
+        <= summary["optimal_tokens_orig"] + 1e-9
+    )
+    # Simplification accelerates both algorithms (paper's key point).
+    assert (
+        summary["heuristic_simplified_cpu_avg_ms"]
+        < summary["heuristic_orig_cpu_avg_ms"]
+    )
+    assert (
+        summary["optimal_simplified_cpu_avg_ms"]
+        < summary["optimal_orig_cpu_avg_ms"]
+    )
+
+    # The paper's q=2 claim: a single inserted relay station can never
+    # degrade a system whose queues all have size two.
+    single_q2 = run_exhaustive_insertion(
+        queue=2, relays_per_placement=1, run_exact=False
+    )
+    assert not single_q2.degraded
+
+    rows = [
+        ["insertions", summary["insertions"], PAPER_REPORTED["insertions"]],
+        [
+            "degraded placements",
+            summary["degraded"],
+            PAPER_REPORTED["degraded_insertions"],
+        ],
+        [
+            "degraded fraction",
+            f"{summary['degraded_fraction']:.2f}",
+            f"{PAPER_REPORTED['degraded_fraction']:.2f}",
+        ],
+        [
+            "ideal throughput (avg)",
+            f"{summary['ideal_throughput_avg']:.2f}",
+            f"{PAPER_REPORTED['ideal_throughput_avg']:.2f}",
+        ],
+        [
+            "degraded throughput (avg)",
+            f"{summary['degraded_throughput_avg']:.2f}",
+            f"{PAPER_REPORTED['degraded_throughput_avg']:.2f}",
+        ],
+        [
+            "heuristic tokens (orig)",
+            f"{summary['heuristic_tokens_orig']:.2f}",
+            f"{PAPER_REPORTED['heuristic_tokens_orig']:.2f}",
+        ],
+        [
+            "heuristic tokens (simplified)",
+            f"{summary['heuristic_tokens_simplified']:.2f}",
+            f"{PAPER_REPORTED['heuristic_tokens_simplified']:.2f}",
+        ],
+        [
+            "optimal tokens (orig)",
+            f"{summary.get('optimal_tokens_orig', float('nan')):.2f}",
+            f"{PAPER_REPORTED['optimal_tokens_orig']:.2f}",
+        ],
+        [
+            "optimal tokens (simplified)",
+            f"{summary.get('optimal_tokens_simplified', float('nan')):.2f}",
+            f"{PAPER_REPORTED['optimal_tokens_simplified']:.2f}",
+        ],
+        [
+            "heuristic CPU avg/median ms (orig)",
+            f"{summary['heuristic_orig_cpu_avg_ms']:.3f} / "
+            f"{summary['heuristic_orig_cpu_median_ms']:.4f}",
+            "0.12 / 0.005",
+        ],
+        [
+            "heuristic CPU avg/median ms (simplified)",
+            f"{summary['heuristic_simplified_cpu_avg_ms']:.3f} / "
+            f"{summary['heuristic_simplified_cpu_median_ms']:.4f}",
+            "0.092 / 0.002",
+        ],
+        [
+            "optimal CPU avg/median ms (orig)",
+            f"{summary.get('optimal_orig_cpu_avg_ms', float('nan')):.3f} / "
+            f"{summary.get('optimal_orig_cpu_median_ms', float('nan')):.4f}",
+            "33000 / 2.4",
+        ],
+        [
+            "optimal CPU avg/median ms (simplified)",
+            f"{summary.get('optimal_simplified_cpu_avg_ms', float('nan')):.3f} / "
+            f"{summary.get('optimal_simplified_cpu_median_ms', float('nan')):.4f}",
+            "2.4 / 0.13",
+        ],
+        ["exact timeouts", str(summary["timeouts"]), "2 of 227"],
+        ["q=2, one relay station: degradations", len(single_q2.degraded), 0],
+    ]
+    publish(
+        "table5_cofdm_exhaustive",
+        render_table(
+            ["metric", "measured", "paper"],
+            rows,
+            title=(
+                "Table V - exhaustive 2-relay-station insertion on the "
+                f"COFDM SoC (q=1, exact timeout {timeout:.0f}s"
+                + (f", limited to {limit} placements" if limit else "")
+                + ")"
+            ),
+        ),
+    )

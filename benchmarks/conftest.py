@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper, times its
+computational kernel via pytest-benchmark, prints the regenerated
+artifact, and persists it under ``benchmarks/results/``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def publish(capsys):
+    """Print a rendered table (bypassing capture) and persist it."""
+    from repro.experiments import save_result
+
+    def _publish(name: str, text: str) -> None:
+        save_result(name, text)
+        with capsys.disabled():
+            print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+
+    return _publish

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The COFDM UWB transmitter case study (paper, Section IX).
+
+Analyzes the reconstructed 12-block / 30-channel transmitter SoC:
+
+1. reproduces the Fig. 19 scenario (relay stations on (FEC, Spread)
+   and (Spread, Pilot)) with its Table VI critical cycles;
+2. solves it with the heuristic and the optimal queue-sizing
+   algorithms, recovering the paper's two-token fix;
+3. runs a slice of the Table V exhaustive two-relay-station sweep and
+   prints the aggregate statistics next to the paper's.
+
+Run:  python examples/cofdm_case_study.py            (quick slice)
+      REPRO_COFDM_FULL=1 python examples/cofdm_case_study.py   (all 435)
+"""
+
+import os
+
+from repro import actual_mst, ideal_mst, size_queues
+from repro.core import deficient_cycles
+from repro.soc import (
+    FIG19_IDEAL_MST,
+    PAPER_REPORTED,
+    cofdm_transmitter,
+    fig19_scenario,
+    run_exhaustive_insertion,
+)
+
+
+def show_fig19() -> None:
+    scenario = fig19_scenario()
+    print("== Fig. 19 scenario: relay stations on (FEC,Spread), (Spread,Pilot) ==")
+    print(f"ideal MST:    {ideal_mst(scenario).mst}")
+    print(f"degraded MST: {actual_mst(scenario).mst}")
+
+    print("\npotential critical cycles (Table VI):")
+    for record in deficient_cycles(
+        scenario.doubled_marked_graph(), FIG19_IDEAL_MST
+    ):
+        blocks = [n for n in record.node_path if not isinstance(n, tuple)]
+        print(f"  mean {float(record.mean):.2f}: {' -> '.join(blocks)}")
+
+    for method in ("heuristic", "exact"):
+        solution = size_queues(scenario, method=method)
+        named = {
+            (scenario.channel(cid).src, scenario.channel(cid).dst): tokens
+            for cid, tokens in solution.extra_tokens.items()
+        }
+        print(
+            f"\n{method} fix: {named} "
+            f"(cost {solution.cost}, MST -> {solution.achieved})"
+        )
+
+
+def show_exhaustive() -> None:
+    full = bool(os.environ.get("REPRO_COFDM_FULL"))
+    limit = None if full else 60
+    label = "all 435 placements" if full else "first 60 placements"
+    print(f"\n== Table V sweep ({label}) ==")
+    report = run_exhaustive_insertion(exact_timeout=20.0, limit=limit)
+    summary = report.summary()
+    paper = PAPER_REPORTED
+    rows = [
+        ("degraded fraction", summary["degraded_fraction"], paper["degraded_fraction"]),
+        ("ideal throughput avg", summary.get("ideal_throughput_avg"), paper["ideal_throughput_avg"]),
+        ("degraded throughput avg", summary.get("degraded_throughput_avg"), paper["degraded_throughput_avg"]),
+        ("heuristic tokens (simplified)", summary.get("heuristic_tokens_simplified"), paper["heuristic_tokens_simplified"]),
+        ("optimal tokens (simplified)", summary.get("optimal_tokens_simplified"), paper["optimal_tokens_simplified"]),
+    ]
+    print(f"{'metric':38s} {'measured':>10s} {'paper':>10s}")
+    for name, measured, published in rows:
+        m = "-" if measured is None else f"{measured:.3f}"
+        print(f"{name:38s} {m:>10s} {published:>10.3f}")
+
+    print("\nfixed queues of depth two (one relay station inserted):")
+    q2 = run_exhaustive_insertion(queue=2, relays_per_placement=1, run_exact=False)
+    print(f"  degradations: {len(q2.degraded)} of {len(q2.placements)} (paper: 0)")
+
+
+def main() -> None:
+    base = cofdm_transmitter()
+    print(
+        f"COFDM transmitter: {base.system.number_of_nodes()} blocks, "
+        f"{len(base.channels())} channels, ideal MST {ideal_mst(base).mst}"
+    )
+    show_fig19()
+    show_exhaustive()
+
+
+if __name__ == "__main__":
+    main()

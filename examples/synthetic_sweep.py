@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Synthetic-topology sweep: fixed queues vs targeted queue sizing.
+
+Generates random latency-insensitive systems with the paper's
+Section VIII generator and compares three repair strategies for
+backpressure-induced throughput degradation:
+
+* fixed uniform queues of increasing depth (Fig. 17's knob);
+* the always-safe-but-wasteful bound q = r + 1 (Section IV);
+* targeted queue sizing with the heuristic of Section VII-B.
+
+The punchline matches the paper: targeted sizing restores the full
+MST with a handful of tokens, where uniform sizing pays extra queue
+slots on *every* channel.
+
+Run:  python examples/synthetic_sweep.py [seed]
+"""
+
+import sys
+
+from repro import GeneratorConfig, actual_mst, generate_lis, ideal_mst, size_queues
+from repro.core import conservative_fixed_queue, minimal_fixed_q
+from repro.core.solvers import fixed_qs_profile
+
+
+def analyse(seed: int) -> None:
+    cfg = GeneratorConfig(v=50, s=5, c=5, rs=10, rp=True, policy="scc", seed=seed)
+    lis = generate_lis(cfg)
+    channels = len(lis.channels())
+    ideal = ideal_mst(lis).mst
+    degraded = actual_mst(lis).mst
+    print(f"seed {seed}: v=50, s=5, rs=10 ({channels} channels)")
+    print(f"  ideal MST {ideal}, with q=1 backpressure {degraded}")
+
+    print("  fixed uniform queues:")
+    for q, mst_q in fixed_qs_profile(lis, range(1, 6)).items():
+        extra_slots = (q - 1) * channels
+        print(
+            f"    q={q}: MST {float(mst_q):.3f}"
+            f"  (+{extra_slots} queue slots system-wide)"
+        )
+    q_star = minimal_fixed_q(lis)
+    bound = conservative_fixed_queue(lis)
+    print(
+        f"  smallest uniform q restoring ideal: {q_star} "
+        f"(+{(q_star - 1) * channels} slots); safe bound q=r+1={bound}"
+    )
+
+    solution = size_queues(lis, method="heuristic")
+    print(
+        f"  targeted heuristic sizing: {solution.cost} extra tokens on "
+        f"{len(solution.extra_tokens)} channels -> MST {solution.achieved}"
+        f"  (simplified via SCC collapse: {solution.simplified})"
+    )
+    exact = size_queues(lis, method="exact", timeout=30)
+    print(f"  exact optimum: {exact.cost} tokens")
+    print()
+
+
+def main() -> None:
+    seeds = [int(sys.argv[1])] if len(sys.argv) > 1 else [7, 21, 99]
+    for seed in seeds:
+        analyse(seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro -- performance analysis and optimization of latency-insensitive systems.
+
+A from-scratch reproduction of the latency-insensitive design (LID)
+performance line of work: marked-graph modeling of latency-insensitive
+systems (LISs), maximal-sustainable-throughput (MST) analysis,
+backpressure-induced throughput degradation, and its repair by queue
+sizing or relay-station insertion (Carloni & Sangiovanni-Vincentelli,
+DAC 2000; Collins & Carloni, IEEE TCAD 2008).
+
+Quick start::
+
+    from repro import LisGraph, ideal_mst, actual_mst, size_queues
+
+    lis = LisGraph()
+    lis.add_channel("A", "B", relays=1)   # a pipelined channel
+    lis.add_channel("A", "B")             # and a short parallel one
+
+    ideal_mst(lis).mst      # Fraction(1, 1)
+    actual_mst(lis).mst     # Fraction(2, 3)  <- backpressure degradation
+    size_queues(lis).extra_tokens  # {1: 1}   <- the one-token fix
+
+Subpackages:
+
+* :mod:`repro.graphs` -- graph substrate (multigraphs, SCCs, cycles,
+  minimum cycle mean) implemented from scratch.
+* :mod:`repro.core` -- the paper's contribution: marked graphs, MST,
+  topology classes, the queue-sizing problem, heuristic/exact/fixed
+  solvers, relay-station insertion, the NP-completeness reduction.
+* :mod:`repro.lis` -- two cycle-accurate simulators plus environment
+  models for open systems.
+* :mod:`repro.gen` -- the Section VIII random generator and every
+  worked example from the paper's figures.
+* :mod:`repro.soc` -- the COFDM UWB transmitter case study.
+* :mod:`repro.experiments` -- shared experiment harness used by the
+  ``benchmarks/`` suite.
+"""
+
+from .core import (
+    LisGraph,
+    MarkedGraph,
+    QsSolution,
+    ThroughputResult,
+    actual_mst,
+    classify_topology,
+    degradation_ratio,
+    fixed_qs_mst,
+    ideal_mst,
+    minimal_fixed_q,
+    mst,
+    size_queues,
+)
+from .gen import GeneratorConfig, generate_lis
+from .lis import RtlSimulator, ShellBehavior, TraceSimulator, simulate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LisGraph",
+    "MarkedGraph",
+    "QsSolution",
+    "ThroughputResult",
+    "actual_mst",
+    "classify_topology",
+    "degradation_ratio",
+    "fixed_qs_mst",
+    "ideal_mst",
+    "minimal_fixed_q",
+    "mst",
+    "size_queues",
+    "GeneratorConfig",
+    "generate_lis",
+    "RtlSimulator",
+    "ShellBehavior",
+    "TraceSimulator",
+    "simulate_trace",
+    "__version__",
+]

@@ -1,0 +1,278 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives the library's analysis pipeline a shell-scriptable surface:
+
+* ``analyze``  -- topology class, ideal/practical MST, critical cycle;
+* ``size``     -- queue sizing (heuristic / exact / milp);
+* ``generate`` -- the Section VIII random generator, to a JSON file;
+* ``simulate`` -- empirical throughput from either simulator;
+* ``example``  -- dump one of the paper's named example systems;
+* ``dot``      -- Graphviz rendering of the system or its doubled
+  marked graph.
+
+LIS descriptions use the JSON format of :mod:`repro.core.serialize`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from fractions import Fraction
+
+from .core import (
+    actual_mst,
+    classify_topology,
+    ideal_mst,
+    relay_placement,
+    size_queues,
+)
+from .core.serialize import load_lis, save_lis
+from .gen import generator as _generator
+from .gen import examples as _examples
+
+__all__ = ["main", "build_parser"]
+
+EXAMPLES = {
+    "fig1": _examples.fig1_lis,
+    "fig2-right": _examples.fig2_right_lis,
+    "fig15": _examples.fig15_lis,
+    "fig10": _examples.fig10_limiter_lis,
+    "uplink-downlink": _examples.uplink_downlink_lis,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Latency-insensitive system performance analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="MST and topology analysis")
+    analyze.add_argument("file", help="LIS JSON description")
+    analyze.add_argument(
+        "--full",
+        action="store_true",
+        help="per-channel bottleneck/slack report plus the recommended fix",
+    )
+
+    size = sub.add_parser("size", help="queue sizing")
+    size.add_argument("file")
+    size.add_argument(
+        "--method",
+        choices=("heuristic", "greedy", "exact", "milp"),
+        default="heuristic",
+    )
+    size.add_argument("--timeout", type=float, default=None)
+    size.add_argument(
+        "--target",
+        default=None,
+        help="throughput to restore, e.g. 5/6 (default: the ideal MST)",
+    )
+
+    gen = sub.add_parser("generate", help="random LIS (Section VIII)")
+    gen.add_argument("-o", "--output", required=True)
+    gen.add_argument("--vertices", type=int, default=50)
+    gen.add_argument("--sccs", type=int, default=5)
+    gen.add_argument("--cycles", type=int, default=5)
+    gen.add_argument("--relays", type=int, default=10)
+    gen.add_argument("--no-reconvergent", action="store_true")
+    gen.add_argument("--policy", choices=("scc", "any"), default="scc")
+    gen.add_argument("--queue", type=int, default=1)
+    gen.add_argument("--seed", type=int, default=None)
+
+    sim = sub.add_parser("simulate", help="empirical throughput")
+    sim.add_argument("file")
+    sim.add_argument("--clocks", type=int, default=400)
+    sim.add_argument("--warmup", type=int, default=100)
+    sim.add_argument(
+        "--simulator", choices=("trace", "rtl"), default="trace"
+    )
+    sim.add_argument("--shell", default=None, help="probe shell (default: auto)")
+
+    example = sub.add_parser("example", help="dump a named paper example")
+    example.add_argument("name", choices=sorted(EXAMPLES))
+    example.add_argument("-o", "--output", default=None)
+
+    dot = sub.add_parser("dot", help="Graphviz output")
+    dot.add_argument("file")
+    dot.add_argument(
+        "--view",
+        choices=("system", "ideal", "doubled"),
+        default="system",
+    )
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    lis = load_lis(args.file)
+    if args.full:
+        from .core.report import analyze as full_analyze
+
+        report = full_analyze(lis)
+        print(report.render(lis))
+        return 0
+    ideal = ideal_mst(lis)
+    practical = actual_mst(lis)
+    print(f"shells:          {lis.system.number_of_nodes()}")
+    print(f"channels:        {len(lis.channels())}")
+    print(f"relay stations:  {lis.total_relays()}")
+    print(f"topology class:  {classify_topology(lis).value}")
+    print(f"relay placement: {relay_placement(lis).value}")
+    print(f"ideal MST:       {ideal.mst} ({float(ideal.mst):.4f})")
+    print(f"practical MST:   {practical.mst} ({float(practical.mst):.4f})")
+    if practical.critical is not None:
+        path = " -> ".join(str(p.src) for p in practical.critical)
+        print(f"critical cycle:  {path}")
+    if practical.mst < ideal.mst:
+        print("verdict:         DEGRADED by backpressure (try `repro size`)")
+    else:
+        print("verdict:         no backpressure degradation")
+    return 0
+
+
+def _cmd_size(args) -> int:
+    lis = load_lis(args.file)
+    target = Fraction(args.target) if args.target else None
+    try:
+        solution = size_queues(
+            lis, method=args.method, target=target, timeout=args.timeout
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"method:       {solution.method}")
+    print(f"target MST:   {solution.target}")
+    print(f"achieved MST: {solution.achieved}")
+    print(f"total tokens: {solution.cost}")
+    print(f"simplified:   {solution.simplified}")
+    for cid, tokens in sorted(solution.extra_tokens.items()):
+        channel = lis.channel(cid)
+        print(
+            f"  channel {cid} ({channel.src} -> {channel.dst}): "
+            f"queue {channel.data['queue']} -> "
+            f"{channel.data['queue'] + tokens}"
+        )
+    return 0 if solution.restores_target else 1
+
+
+def _cmd_generate(args) -> int:
+    config = _generator.GeneratorConfig(
+        v=args.vertices,
+        s=args.sccs,
+        c=args.cycles,
+        rs=args.relays,
+        rp=not args.no_reconvergent,
+        policy=args.policy,
+        queue=args.queue,
+        seed=args.seed,
+    )
+    lis = _generator.generate_lis(config)
+    save_lis(lis, args.output)
+    print(
+        f"wrote {args.output}: {lis.system.number_of_nodes()} shells, "
+        f"{len(lis.channels())} channels, {lis.total_relays()} relay stations"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .lis import measured_throughput
+
+    lis = load_lis(args.file)
+    if args.shell is not None:
+        probe = args.shell
+    else:
+        analysis = actual_mst(lis)
+        if analysis.limiting_scc:
+            shells = [
+                n for n in analysis.limiting_scc if not isinstance(n, tuple)
+            ]
+            probe = shells[0] if shells else lis.shells()[0]
+        else:
+            probe = lis.shells()[0]
+    rate = measured_throughput(
+        lis,
+        probe,
+        clocks=args.clocks,
+        warmup=args.warmup,
+        simulator=args.simulator,
+    )
+    analytic = actual_mst(lis).mst
+    print(f"probe shell:     {probe}")
+    print(f"simulator:       {args.simulator}")
+    print(f"measured rate:   {rate} ({float(rate):.4f})")
+    print(f"analytic MST:    {analytic} ({float(analytic):.4f})")
+    return 0
+
+
+def _cmd_example(args) -> int:
+    lis = EXAMPLES[args.name]()
+    from .core.serialize import lis_to_json
+
+    text = lis_to_json(lis)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    from .graphs import to_dot
+
+    lis = load_lis(args.file)
+    if args.view == "system":
+        graph = lis.system
+
+        def label(edge):
+            bits = []
+            if edge.data["relays"]:
+                bits.append(f"rs={edge.data['relays']}")
+            bits.append(f"q={edge.data['queue']}")
+            return ",".join(bits)
+
+        print(to_dot(graph, name="system", edge_label=label), end="")
+        return 0
+    mg = (
+        lis.ideal_marked_graph()
+        if args.view == "ideal"
+        else lis.doubled_marked_graph()
+    )
+    shapes = {
+        "relay": "box",
+        "stage": "box",
+    }
+    print(
+        to_dot(
+            mg.graph,
+            name=args.view,
+            node_shape=lambda n: shapes.get(
+                mg.graph.node_data(n).get("kind"), "ellipse"
+            ),
+        ),
+        end="",
+    )
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "size": _cmd_size,
+    "generate": _cmd_generate,
+    "simulate": _cmd_simulate,
+    "example": _cmd_example,
+    "dot": _cmd_dot,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

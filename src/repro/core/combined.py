@@ -1,0 +1,123 @@
+"""Joint relay-insertion + queue-sizing optimization.
+
+The paper treats relay-station insertion and queue sizing as separate
+repairs and notes their different characters: queue slots must sit
+inside the consuming shell, while relay stations can go anywhere along
+the wire (flexible placement) but cost two registers apiece and, on
+forward cycles, can lower the ideal MST.  A designer really faces the
+*combined* question: over all insertion assignments that preserve the
+target ideal MST, which mixture of stations and queue tokens restores
+the practical MST at the lowest register cost?
+
+:func:`combined_repair` answers it by bounded exhaustive search over
+ideal-preserving insertion assignments (like Section VI's search),
+running the queue-sizing solver on each and scoring
+
+    cost = relay_register_cost * added stations + queue slot tokens
+
+with a configurable relay cost (2 registers by default, per the relay
+station's main + auxiliary pair; set it below 1 to express a strong
+preference for wire-side placement flexibility).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+from .lis_graph import LisGraph
+from .relay_opt import apply_insertion
+from .solvers import QsSolution, size_queues
+from .throughput import actual_mst, ideal_mst
+
+__all__ = ["CombinedSolution", "combined_repair"]
+
+
+@dataclass(frozen=True)
+class CombinedSolution:
+    """The best mixed repair found.
+
+    Attributes:
+        added_relays: Channel id -> extra relay stations inserted.
+        sizing: The queue-sizing solution applied on top.
+        register_cost: The scored cost (relay registers + queue slots).
+        achieved: Verified MST of the repaired system.
+        evaluated: Number of insertion assignments scored.
+    """
+
+    added_relays: dict[int, int]
+    sizing: QsSolution
+    register_cost: Fraction
+    achieved: Fraction
+    evaluated: int
+
+    @property
+    def total_relays_added(self) -> int:
+        return sum(self.added_relays.values())
+
+
+def combined_repair(
+    lis: LisGraph,
+    max_added_relays: int = 2,
+    relay_register_cost: Fraction | int = 2,
+    method: str = "exact",
+    target: Fraction | None = None,
+) -> CombinedSolution:
+    """Search insertion assignments + queue sizing for the cheapest
+    repair that restores ``target`` (default: the current ideal MST).
+
+    The insertion search is exhaustive up to ``max_added_relays``
+    stations (multisets over channels), skipping assignments that drop
+    the ideal MST below the target -- those can never reach it.
+    Exponential in the budget like Section VI's problem; intended for
+    the small budgets that are physically plausible.
+    """
+    if max_added_relays < 0:
+        raise ValueError("relay budget must be non-negative")
+    goal = target if target is not None else ideal_mst(lis).mst
+    relay_cost = Fraction(relay_register_cost)
+
+    channel_ids = lis.channel_ids()
+    best: CombinedSolution | None = None
+    evaluated = 0
+    for count in range(max_added_relays + 1):
+        for combo in itertools.combinations_with_replacement(
+            channel_ids, count
+        ):
+            added: dict[int, int] = {}
+            for cid in combo:
+                added[cid] = added.get(cid, 0) + 1
+            trial = apply_insertion(lis, added)
+            evaluated += 1
+            if ideal_mst(trial).mst < goal:
+                continue  # this insertion already forfeits the target
+            if actual_mst(trial).mst >= goal:
+                sizing = size_queues(
+                    trial, method=method, target=goal, verify=False
+                )
+            else:
+                sizing = size_queues(trial, method=method, target=goal)
+                if not sizing.restores_target:
+                    continue
+            cost = relay_cost * count + sizing.cost
+            if best is None or cost < best.register_cost:
+                best = CombinedSolution(
+                    added_relays=added,
+                    sizing=sizing,
+                    register_cost=cost,
+                    achieved=max(sizing.achieved, goal),
+                    evaluated=evaluated,
+                )
+    if best is None:
+        raise ValueError(
+            f"no repair within {max_added_relays} added relay stations "
+            f"reaches target {goal}"
+        )
+    return CombinedSolution(
+        added_relays=best.added_relays,
+        sizing=best.sizing,
+        register_cost=best.register_cost,
+        achieved=best.achieved,
+        evaluated=evaluated,
+    )

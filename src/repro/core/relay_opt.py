@@ -1,0 +1,173 @@
+"""Relay-station insertion as a throughput optimization (Section VI).
+
+Inserting *extra* relay stations -- beyond those required to meet
+timing -- can equalize the latencies of reconvergent paths so that a
+shell's inputs arrive in the same clock period, removing the stalls
+that backpressure would otherwise cause (Casu--Macchiarulo).  In the
+paper's Fig. 2, one relay station on the short channel restores the
+MST to 1 without touching any queue.
+
+The catch (and the paper's Section VI contribution) is that extra
+relay stations live on *forward* edges: placed on a channel that
+belongs to a small forward cycle, they lower the *ideal* MST itself.
+Fig. 15 exhibits a LIS where every useful insertion point sits on such
+a cycle, so no insertion strategy can recover the ideal throughput --
+queue sizing is strictly more powerful there.  Finding an optimal
+insertion is NP-complete like QS (proof in the authors' technical
+report), so this module provides:
+
+* :func:`equalization_slacks` -- the linear-time path-balancing
+  heuristic for DAG topologies (longest-path slack per channel);
+* :func:`exhaustive_relay_search` -- bounded exhaustive search over
+  insertion assignments, used both as a small-instance optimizer and
+  to *certify* counterexamples where insertion cannot help;
+* :func:`relay_insertion_can_restore` -- the certification predicate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable
+
+from ..graphs import is_acyclic, topological_sort
+from .lis_graph import LisGraph
+from .throughput import actual_mst, ideal_mst
+
+__all__ = [
+    "InsertionResult",
+    "equalization_slacks",
+    "apply_insertion",
+    "exhaustive_relay_search",
+    "relay_insertion_can_restore",
+]
+
+
+@dataclass(frozen=True)
+class InsertionResult:
+    """Outcome of a relay-insertion search.
+
+    Attributes:
+        added: Channel id -> number of extra relay stations.
+        ideal: Ideal MST of the modified system.
+        actual: Practical (doubled-graph) MST of the modified system.
+        evaluated: How many assignments the search scored.
+    """
+
+    added: dict[int, int]
+    ideal: Fraction
+    actual: Fraction
+    evaluated: int
+
+    @property
+    def total_added(self) -> int:
+        return sum(self.added.values())
+
+
+def apply_insertion(lis: LisGraph, added: dict[int, int]) -> LisGraph:
+    """A copy of ``lis`` with ``added[cid]`` extra relays per channel."""
+    out = lis.copy()
+    for cid, count in added.items():
+        out.insert_relay(cid, count)
+    return out
+
+
+def equalization_slacks(lis: LisGraph) -> dict[int, int]:
+    """Casu--Macchiarulo path equalization for acyclic systems.
+
+    Computes, per channel, how many relay stations to add so that every
+    path from the sources to any shell has the same latency: with
+    ``depth(v)`` the longest latency from any source to ``v`` (counting
+    one cycle per shell hop plus one per relay station), the slack of a
+    channel ``(u, v)`` is ``depth(v) - depth(u) - 1 - relays``.
+
+    Raises ``ValueError`` for cyclic systems, where equalization is not
+    well-defined (and where added relays would lower the ideal MST).
+    """
+    if not is_acyclic(lis.system):
+        raise ValueError("path equalization requires an acyclic system")
+    depth: dict[Hashable, int] = {node: 0 for node in lis.system.nodes}
+    for node in topological_sort(lis.system):
+        for channel in lis.system.out_edges(node):
+            latency = depth[node] + 1 + channel.data["relays"]
+            if latency > depth[channel.dst]:
+                depth[channel.dst] = latency
+    slacks: dict[int, int] = {}
+    for channel in lis.channels():
+        slack = (
+            depth[channel.dst]
+            - depth[channel.src]
+            - 1
+            - channel.data["relays"]
+        )
+        if slack > 0:
+            slacks[channel.key] = slack
+    return slacks
+
+
+def exhaustive_relay_search(
+    lis: LisGraph,
+    max_added: int,
+    target: Fraction | None = None,
+    preserve_ideal: bool = True,
+) -> InsertionResult:
+    """Best assignment of at most ``max_added`` extra relay stations.
+
+    Scores every multiset of channels of size 0..``max_added`` (so the
+    cost is O(channels^max_added); intended for small systems and for
+    certifying counterexamples).  Among assignments, prefers the
+    highest practical MST, breaking ties toward fewer relays.
+
+    Args:
+        preserve_ideal: When True, assignments that lower the system's
+            ideal MST below ``target`` are discarded -- inserting those
+            relays would trade one degradation for another.
+        target: Defaults to the unmodified system's ideal MST.
+    """
+    goal = target if target is not None else ideal_mst(lis).mst
+    channel_ids = lis.channel_ids()
+    best_added: dict[int, int] = {}
+    best_ideal = ideal_mst(lis).mst
+    best_actual = actual_mst(lis).mst
+    evaluated = 1
+    for count in range(1, max_added + 1):
+        for combo in itertools.combinations_with_replacement(
+            channel_ids, count
+        ):
+            added: dict[int, int] = {}
+            for cid in combo:
+                added[cid] = added.get(cid, 0) + 1
+            trial = apply_insertion(lis, added)
+            trial_ideal = ideal_mst(trial).mst
+            evaluated += 1
+            if preserve_ideal and trial_ideal < goal:
+                continue
+            trial_actual = actual_mst(trial).mst
+            if trial_actual > best_actual:
+                best_added = added
+                best_ideal = trial_ideal
+                best_actual = trial_actual
+    return InsertionResult(
+        added=best_added,
+        ideal=best_ideal,
+        actual=best_actual,
+        evaluated=evaluated,
+    )
+
+
+def relay_insertion_can_restore(
+    lis: LisGraph, max_added: int
+) -> tuple[bool, InsertionResult]:
+    """Can <= ``max_added`` extra relay stations recover the ideal MST?
+
+    Returns ``(certified, result)``: ``certified`` is True when some
+    assignment achieves a practical MST equal to the original ideal
+    MST.  With ``certified == False`` the pair is a *counterexample
+    certificate* for the bounded budget (the paper's Fig. 15 yields
+    False for every budget, because any insertion on the two useful
+    channels lowers the ideal MST to 3/4).
+    """
+    goal = ideal_mst(lis).mst
+    result = exhaustive_relay_search(lis, max_added, target=goal)
+    return result.actual >= goal, result

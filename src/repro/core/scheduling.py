@@ -1,0 +1,178 @@
+"""Static core-firing schedules (the Casu--Macchiarulo alternative).
+
+Section II of the paper discusses a different way to sidestep queue
+sizing entirely: instead of reacting to backpressure at run time,
+*schedule* every core's firings statically so that no queue can ever
+overflow, and strip the backpressure wires.  This works for closed
+systems whose global behaviour can be analyzed in advance -- exactly
+the systems whose marked graphs are strongly connected and live -- but
+not for open systems fed by an environment with a dynamically variable
+rate (the reason the paper sticks to queue sizing).
+
+This module computes such schedules from the marked-graph model.
+Because a live marked graph under synchronous step semantics is a
+deterministic finite system, its marking sequence is eventually
+periodic; recording the firing vectors until the marking repeats
+yields a transient prefix plus a steady-state period.  Within the
+period every transition of a strongly connected system fires the same
+number of times (the classical repetition-vector property), so the
+schedule's rate equals the MST -- the test-suite checks this against
+the analytic value.
+
+The derived schedule is *admissible by construction* (every scheduled
+firing was enabled in the generating run) and can drive a
+backpressure-free implementation whose per-channel buffering equals
+the peak token count observed along the period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable
+
+from .lis_graph import LisGraph
+from .marked_graph import MarkedGraph
+
+__all__ = [
+    "Schedule",
+    "ScheduleError",
+    "periodic_schedule",
+    "schedule_lis",
+    "simulation_driven_sizing",
+]
+
+
+class ScheduleError(Exception):
+    """Raised when no periodic schedule exists within the step budget."""
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A static firing schedule extracted from a marked-graph run.
+
+    Attributes:
+        prefix: Firing sets of the transient, one per clock period.
+        period: Firing sets of the steady state, repeated forever.
+        peak_tokens: Place key -> maximum tokens ever observed (the
+            buffer depth a scheduled, backpressure-free implementation
+            needs on that channel segment).
+    """
+
+    prefix: tuple[frozenset, ...]
+    period: tuple[frozenset, ...]
+    peak_tokens: dict[int, int]
+
+    def firings_in_period(self, transition: Hashable) -> int:
+        return sum(1 for fired in self.period if transition in fired)
+
+    def rate(self, transition: Hashable) -> Fraction:
+        """Steady-state firing rate of ``transition``."""
+        if not self.period:
+            raise ScheduleError("empty period")
+        return Fraction(self.firings_in_period(transition), len(self.period))
+
+    def firing_plan(self, transition: Hashable, clocks: int) -> list[bool]:
+        """Whether ``transition`` fires at each of the first ``clocks``
+        cycles of the scheduled execution."""
+        plan = []
+        for t in range(clocks):
+            if t < len(self.prefix):
+                fired = self.prefix[t]
+            else:
+                fired = self.period[(t - len(self.prefix)) % len(self.period)]
+            plan.append(transition in fired)
+        return plan
+
+    @property
+    def hyperperiod(self) -> int:
+        return len(self.period)
+
+
+def periodic_schedule(mg: MarkedGraph, max_steps: int = 10_000) -> Schedule:
+    """Run step semantics until the marking repeats; split the firing
+    history into transient prefix and steady-state period.
+
+    Raises :class:`ScheduleError` when no repeat occurs within
+    ``max_steps`` (cannot happen for live bounded systems of sensible
+    size) or when the system deadlocks.
+    """
+    work = mg.copy()
+    seen: dict[tuple, int] = {}
+    history: list[frozenset] = []
+    peak: dict[int, int] = {
+        key: tokens for key, tokens in work.marking().items()
+    }
+    for step in range(max_steps):
+        state = tuple(sorted(work.marking().items()))
+        if state in seen:
+            start = seen[state]
+            return Schedule(
+                prefix=tuple(history[:start]),
+                period=tuple(history[start:]),
+                peak_tokens=peak,
+            )
+        seen[state] = step
+        fired = work.step()
+        if not fired:
+            raise ScheduleError("system deadlocked; no schedule exists")
+        history.append(frozenset(fired))
+        for key, tokens in work.marking().items():
+            if tokens > peak[key]:
+                peak[key] = tokens
+    raise ScheduleError(f"no periodic marking within {max_steps} steps")
+
+
+def schedule_lis(
+    lis: LisGraph,
+    practical: bool = True,
+    max_steps: int = 10_000,
+) -> Schedule:
+    """Schedule a LIS.
+
+    With ``practical=True`` the schedule is derived from the doubled
+    marked graph (finite queues as configured) -- it reproduces exactly
+    what the backpressure protocol would do, so replacing the protocol
+    with this schedule is behaviour-preserving.  With
+    ``practical=False`` the ideal system (infinite queues) is
+    scheduled; its ``peak_tokens`` then reveal the buffering a
+    schedule-based, backpressure-free implementation needs.
+    """
+    mg = (
+        lis.doubled_marked_graph()
+        if practical
+        else lis.ideal_marked_graph()
+    )
+    return periodic_schedule(mg, max_steps=max_steps)
+
+
+def simulation_driven_sizing(
+    lis: LisGraph, max_steps: int = 10_000
+) -> dict[int, int]:
+    """Queue sizes from an ideal-system simulation (Lu--Koh flavour).
+
+    Schedules the *ideal* LIS (no backpressure) and reads off, per
+    channel, the peak token count of the final hop into the consumer
+    shell.  Setting each queue to that peak guarantees the practical
+    system never exerts backpressure along the ideal execution, so its
+    MST equals the ideal MST -- the simulation-driven counterpart of
+    the paper's analytic queue sizing, typically costlier in total
+    queue slots than the targeted token-deficit solutions.
+
+    Returns ``{channel id: queue capacity}`` (>= 1 each).  Raises
+    :class:`ScheduleError` for systems with unbounded accumulation
+    (mismatched SCC rates), where no finite sizing reproduces the
+    ideal behaviour.
+    """
+    schedule = schedule_lis(lis, practical=False, max_steps=max_steps)
+    mg = lis.ideal_marked_graph()
+    sizes: dict[int, int] = {}
+    for place in mg.places:
+        if place.data.get("internal"):
+            continue
+        consumer_kind = mg.graph.node_data(place.dst).get("kind")
+        if consumer_kind in ("relay", "stage"):
+            continue
+        peak = schedule.peak_tokens[place.key]
+        sizes[place.data["channel"]] = max(1, peak)
+    return sizes

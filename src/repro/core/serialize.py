@@ -1,0 +1,84 @@
+"""JSON (de)serialization of LIS descriptions.
+
+The on-disk format is a small, hand-editable JSON document::
+
+    {
+      "default_queue": 1,
+      "shells": {"A": {"latency": 1}, "B": {}},
+      "channels": [
+        {"src": "A", "dst": "B", "queue": 1, "relays": 1},
+        {"src": "A", "dst": "B"}
+      ]
+    }
+
+Channel order is preserved, so channel ids of a loaded system are the
+indices into the ``channels`` array -- which makes queue-sizing
+solutions stable across save/load round trips.  Shell names are
+strings in this format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .lis_graph import LisGraph
+
+__all__ = ["lis_to_json", "lis_from_json", "save_lis", "load_lis"]
+
+
+def lis_to_json(lis: LisGraph) -> str:
+    """Serialize ``lis`` to the JSON document format (stable order)."""
+    shells = {}
+    for shell in lis.shells():
+        entry = {}
+        latency = lis.latency(shell)
+        if latency != 1:
+            entry["latency"] = latency
+        shells[str(shell)] = entry
+    channels = []
+    for channel in lis.channels():
+        entry = {"src": str(channel.src), "dst": str(channel.dst)}
+        if channel.data["queue"] != lis.default_queue:
+            entry["queue"] = channel.data["queue"]
+        if channel.data["relays"]:
+            entry["relays"] = channel.data["relays"]
+        channels.append(entry)
+    return json.dumps(
+        {
+            "default_queue": lis.default_queue,
+            "shells": shells,
+            "channels": channels,
+        },
+        indent=2,
+    )
+
+
+def lis_from_json(text: str) -> LisGraph:
+    """Parse the document format produced by :func:`lis_to_json`.
+
+    Shells mentioned only in ``channels`` are created implicitly with
+    latency 1.  Channel ids are assigned in array order starting at 0.
+    """
+    doc = json.loads(text)
+    lis = LisGraph(default_queue=int(doc.get("default_queue", 1)))
+    for name, attrs in doc.get("shells", {}).items():
+        lis.add_shell(name, latency=int(attrs.get("latency", 1)))
+    for entry in doc.get("channels", []):
+        lis.add_channel(
+            entry["src"],
+            entry["dst"],
+            queue=entry.get("queue"),
+            relays=int(entry.get("relays", 0)),
+        )
+    return lis
+
+
+def save_lis(lis: LisGraph, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(lis_to_json(lis) + "\n")
+    return path
+
+
+def load_lis(path: str | Path) -> LisGraph:
+    return lis_from_json(Path(path).read_text())

@@ -1,0 +1,59 @@
+"""Fixed (uniform) queue sizing (Section IV and Fig. 17).
+
+Fixed QS sets every queue in the system to the same depth ``q``.  It is
+provably optimal at q = 1 for trees and SCCs without reconvergent
+paths, always safe at q = r + 1, and empirically recovers most of the
+MST at small q for general topologies (Fig. 17).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable
+
+from ..lis_graph import LisGraph
+from ..throughput import actual_mst, ideal_mst
+from ..topology import conservative_fixed_queue
+
+__all__ = ["fixed_qs_mst", "fixed_qs_profile", "minimal_fixed_q"]
+
+
+def fixed_qs_mst(lis: LisGraph, q: int) -> Fraction:
+    """MST of the practical LIS with every queue set to ``q``.
+
+    The input LIS is not mutated.
+    """
+    trial = lis.copy()
+    trial.set_all_queues(q)
+    return actual_mst(trial).mst
+
+
+def fixed_qs_profile(
+    lis: LisGraph, qs: Iterable[int]
+) -> dict[int, Fraction]:
+    """``{q: MST(q)}`` for each candidate uniform queue size (Fig. 17)."""
+    return {q: fixed_qs_mst(lis, q) for q in qs}
+
+
+def minimal_fixed_q(lis: LisGraph, q_max: int | None = None) -> int:
+    """The smallest uniform queue size recovering the ideal MST.
+
+    MST is monotone non-decreasing in q (extra backedge tokens can only
+    raise cycle means), so binary search applies.  The conservative
+    bound q = r + 1 guarantees a solution exists at or below ``q_max``'s
+    default.
+    """
+    target = ideal_mst(lis).mst
+    high = conservative_fixed_queue(lis) if q_max is None else q_max
+    if fixed_qs_mst(lis, high) < target:
+        raise ValueError(
+            f"no uniform queue size up to {high} recovers the ideal MST"
+        )
+    low = 1
+    while low < high:
+        mid = (low + high) // 2
+        if fixed_qs_mst(lis, mid) >= target:
+            high = mid
+        else:
+            low = mid + 1
+    return low

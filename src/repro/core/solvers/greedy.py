@@ -1,0 +1,48 @@
+"""A greedy set-cover queue-sizing solver.
+
+The token-deficit problem is a covering problem, so the classical
+greedy rule applies: repeatedly add one token to the sizable edge
+whose coverage helps the most still-deficient cycles.  This is *not*
+the paper's heuristic (Section VII-B starts from a feasible assignment
+and descends); it serves as an independent baseline with the textbook
+H(n)-approximation guarantee, and the ablation benchmarks compare the
+two greedy philosophies against the exact optimum.
+"""
+
+from __future__ import annotations
+
+from .. import token_deficit as td
+
+__all__ = ["solve_td_greedy"]
+
+
+def solve_td_greedy(instance: td.TokenDeficitInstance) -> dict[int, int]:
+    """Residual-problem weights found by greedy marginal coverage.
+
+    Each iteration grants one token to the channel covering the largest
+    number of cycles with positive residual deficit (ties broken by the
+    smallest channel id, for determinism), until nothing is deficient.
+    """
+    residual = dict(instance.deficits)
+    weights: dict[int, int] = {}
+    while residual:
+        best_channel = None
+        best_gain = 0
+        for channel in sorted(instance.sets):
+            gain = sum(
+                1 for idx in instance.sets[channel] if idx in residual
+            )
+            if gain > best_gain:
+                best_gain, best_channel = gain, channel
+        if best_channel is None:
+            raise td.InfeasibleError(
+                "deficient cycles remain with no covering channel"
+            )
+        weights[best_channel] = weights.get(best_channel, 0) + 1
+        for idx in list(instance.sets[best_channel]):
+            if idx not in residual:
+                continue
+            residual[idx] -= 1
+            if residual[idx] <= 0:
+                del residual[idx]
+    return weights

@@ -1,0 +1,174 @@
+"""Maximal sustainable throughput (MST) analysis (paper, Section III-C).
+
+The MST of a marked graph G is defined case-wise::
+
+                | 1                          if G is acyclic
+        theta = | min(1, 1/pi(G))            if G is strongly connected
+                | min over SCC subgraphs     otherwise
+
+where the cycle time ``pi(G)`` is the reciprocal of the minimum cycle
+mean (tokens / places over cycles, unit delays).  Since an acyclic SCC
+contributes throughput 1 and a cyclic SCC contributes its minimum
+cycle mean (capped at 1), the three cases collapse to
+``min(1, minimum-cycle-mean)`` -- but we keep the case analysis
+explicit both for fidelity to the paper and to report *which* SCC and
+which critical cycle limits the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable
+
+from ..graphs import Edge, strongly_connected_components
+from ..graphs.mcm import critical_cycle, karp_minimum_cycle_mean
+from .lis_graph import LisGraph
+from .marked_graph import MarkedGraph, place_tokens
+
+__all__ = [
+    "ThroughputResult",
+    "mst",
+    "cycle_time",
+    "mst_per_scc",
+    "ideal_mst",
+    "ideal_mst_compact",
+    "actual_mst",
+    "degradation_ratio",
+]
+
+ONE = Fraction(1)
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """MST of a marked graph together with an explanation.
+
+    Attributes:
+        mst: The maximal sustainable throughput in [0, 1].
+        critical: One critical cycle (list of places) when the MST is
+            below 1, else ``None``.  The cycle's token/place ratio
+            equals ``mst``.
+        limiting_scc: Nodes of the SCC containing the critical cycle,
+            when one exists.
+    """
+
+    mst: Fraction
+    critical: list[Edge] | None = None
+    limiting_scc: frozenset | None = None
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when the MST is strictly below the ideal rate of 1."""
+        return self.mst < ONE
+
+
+def mst(mg: MarkedGraph) -> ThroughputResult:
+    """The MST of a marked graph, with a witness critical cycle."""
+    mean = karp_minimum_cycle_mean(mg.graph, place_tokens)
+    if mean is None or mean >= ONE:
+        # Acyclic graph, or every cycle sustains full rate.
+        return ThroughputResult(mst=ONE)
+    witness = critical_cycle(mg.graph, place_tokens, mean)
+    scc_nodes = frozenset(edge.src for edge in witness)
+    return ThroughputResult(mst=mean, critical=witness, limiting_scc=scc_nodes)
+
+
+def cycle_time(mg: MarkedGraph) -> Fraction | None:
+    """The cycle time ``pi(G)`` = 1 / (minimum cycle mean).
+
+    ``None`` for acyclic graphs (no cycle constrains the rate).  A zero
+    minimum cycle mean (a token-free cycle: a deadlocked system) yields
+    an infinite cycle time, reported as ``None`` as well -- callers
+    should test :meth:`MarkedGraph.is_live` first.
+    """
+    mean = karp_minimum_cycle_mean(mg.graph, place_tokens)
+    if mean is None or mean == 0:
+        return None
+    return 1 / mean
+
+
+def mst_per_scc(mg: MarkedGraph) -> dict[frozenset, Fraction]:
+    """MST of each SCC subgraph (the paper's third case, itemized)."""
+    out: dict[frozenset, Fraction] = {}
+    for component in strongly_connected_components(mg.graph):
+        sub = mg.graph.subgraph(component)
+        mean = karp_minimum_cycle_mean(sub, place_tokens)
+        value = ONE if mean is None else min(ONE, mean)
+        out[frozenset(component)] = value
+    return out
+
+
+def ideal_mst(lis: LisGraph) -> ThroughputResult:
+    """MST of the ideal LIS (infinite queues, no backpressure)."""
+    return mst(lis.ideal_marked_graph())
+
+
+def ideal_mst_compact(lis: LisGraph) -> Fraction:
+    """Ideal MST computed directly on the system graph via the minimum
+    cycle *ratio*, without expanding relay stations or core pipelines.
+
+    Every channel on a forward cycle carries exactly one token (the
+    consumer shell's initial latched datum) and costs ``relays +
+    latency(consumer)`` clock periods to traverse, so the ideal MST is
+    ``min(1, min over system cycles of hops / total latency)``.  Agrees
+    with :func:`ideal_mst` on the expanded marked graph -- the
+    test-suite asserts it -- while scaling independently of relay
+    counts and pipeline depths.
+    """
+    from ..graphs.mcm import minimum_cycle_ratio
+
+    result = minimum_cycle_ratio(
+        lis.system,
+        weight=lambda edge: 1,
+        time=lambda edge: edge.data["relays"] + lis.latency(edge.dst),
+    )
+    if result is None:
+        return ONE
+    return min(ONE, result.mean)
+
+
+def actual_mst(
+    lis: LisGraph, extra_tokens: dict[int, int] | None = None
+) -> ThroughputResult:
+    """MST of the practical LIS (finite queues with backpressure).
+
+    ``extra_tokens`` is an optional queue-sizing solution (channel id
+    -> extra backedge tokens) applied on top of the configured queues.
+    """
+    return mst(lis.doubled_marked_graph(extra_tokens))
+
+
+def bottleneck_channels(
+    lis: LisGraph, extra_tokens: dict[int, int] | None = None
+) -> set[int]:
+    """Channels lying on some critical cycle of the practical LIS.
+
+    These are the places where extra buffering (on backedges) or extra
+    pipelining (on forward edges, when legal) could move the MST;
+    everything else has slack.  Empty when the system already runs at
+    rate 1.
+    """
+    from ..graphs.mcm import critical_edges, karp_minimum_cycle_mean
+
+    mg = lis.doubled_marked_graph(extra_tokens)
+    mean = karp_minimum_cycle_mean(mg.graph, place_tokens)
+    if mean is None or mean >= ONE:
+        return set()
+    keys = critical_edges(mg.graph, place_tokens, mean)
+    channels: set[int] = set()
+    for key in keys:
+        data = mg.graph.edge(key).data
+        if not data.get("internal"):
+            channels.add(data["channel"])
+    return channels
+
+
+def degradation_ratio(
+    lis: LisGraph, extra_tokens: dict[int, int] | None = None
+) -> Fraction:
+    """``actual / ideal`` MST; 1 means backpressure costs nothing."""
+    ideal = ideal_mst(lis).mst
+    if ideal == 0:
+        raise ValueError("ideal LIS is deadlocked; degradation undefined")
+    return actual_mst(lis, extra_tokens).mst / ideal

@@ -1,0 +1,241 @@
+"""The token-deficit (TD) abstraction of queue sizing (Section VII-A).
+
+An instance of TD is a family of sets ``S = (s_1, s_2, ...)``, one per
+*sizable edge* (a shell-queue backedge, identified here by its channel
+id), where ``s_i`` contains the deficient cycles that edge ``i`` lies
+on; each cycle ``c`` carries a non-negative deficit ``d(c)``.  A
+*solution* assigns a weight (extra queue tokens) to each edge so that
+every cycle's covering edges sum to at least its deficit; its cost is
+the total weight.  TD abstracts away the graph: only the incidence
+structure between cycles and sizable edges matters.
+
+This module builds TD instances from LISs, checks feasibility of
+weight assignments, and applies the paper's simplification rules:
+
+1. non-deficient cycles are never included (done during enumeration);
+2. an edge whose cycle set is a subset of another edge's is dropped;
+3. a cycle covered by exactly one edge forces a minimum weight on that
+   edge and is then removed (re-evaluating the other cycles' residual
+   deficits);
+4. the SCC collapse lives in :mod:`repro.core.cycles`.
+
+Rules 2 and 3 are iterated to a fixpoint; a TD instance records its
+forced weights so that solvers only search the residual problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+from .cycles import CycleRecord, deficient_cycles
+from .lis_graph import LisGraph
+from .throughput import ideal_mst
+
+__all__ = ["TokenDeficitInstance", "InfeasibleError", "build_td_instance"]
+
+
+class InfeasibleError(Exception):
+    """A deficient cycle has no sizable edge: no queue sizing can fix it."""
+
+
+@dataclass
+class TokenDeficitInstance:
+    """A TD problem instance over channel ids.
+
+    Attributes:
+        deficits: Cycle index -> residual deficit (strictly positive).
+        sets: Channel id -> set of cycle indices it covers (``s_i``).
+        forced: Channel id -> weight already fixed by simplification;
+            these tokens are part of every solution's cost.
+        cycles: The original cycle records, for reporting (indices in
+            ``deficits``/``sets`` refer to this list).
+        target: The throughput the instance restores when solved.
+    """
+
+    deficits: dict[int, int]
+    sets: dict[int, set[int]]
+    forced: dict[int, int] = field(default_factory=dict)
+    cycles: list[CycleRecord] = field(default_factory=list)
+    target: Fraction = Fraction(1)
+
+    # ------------------------------------------------------------------
+    # Feasibility
+    # ------------------------------------------------------------------
+    def covering_channels(self, cycle_idx: int) -> set[int]:
+        """Channels whose weight counts toward ``cycle_idx``'s deficit."""
+        return {
+            channel
+            for channel, covered in self.sets.items()
+            if cycle_idx in covered
+        }
+
+    def is_solution(self, weights: dict[int, int]) -> bool:
+        """Check a weight assignment (over the residual problem)."""
+        for cycle_idx, deficit in self.deficits.items():
+            covered = sum(
+                weights.get(channel, 0)
+                for channel, cycles in self.sets.items()
+                if cycle_idx in cycles
+            )
+            if covered < deficit:
+                return False
+        return True
+
+    def solution_cost(self, weights: dict[int, int]) -> int:
+        """Total tokens of ``weights`` plus the forced weights."""
+        return sum(weights.values()) + sum(self.forced.values())
+
+    def merge_forced(self, weights: dict[int, int]) -> dict[int, int]:
+        """Combine residual-problem weights with the forced weights into
+        a complete queue-sizing solution (channel id -> extra tokens)."""
+        merged = dict(self.forced)
+        for channel, weight in weights.items():
+            if weight:
+                merged[channel] = merged.get(channel, 0) + weight
+        return merged
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when simplification solved everything already."""
+        return not self.deficits
+
+    # ------------------------------------------------------------------
+    # Simplification (rules 2 and 3, to fixpoint)
+    # ------------------------------------------------------------------
+    def simplify(
+        self, rules: tuple[str, ...] = ("subset", "singleton")
+    ) -> "TokenDeficitInstance":
+        """Apply the selected simplification rules in place, to fixpoint.
+
+        ``rules`` may contain ``"subset"`` (rule 2: drop dominated
+        edges) and/or ``"singleton"`` (rule 3: force singleton-covered
+        cycles).  The ablation benchmarks use the selective forms; all
+        production paths apply both.
+        """
+        unknown = set(rules) - {"subset", "singleton"}
+        if unknown:
+            raise ValueError(f"unknown simplification rules: {sorted(unknown)}")
+        changed = True
+        while changed:
+            changed = False
+            if "subset" in rules:
+                changed |= self._drop_subset_sets()
+            if "singleton" in rules:
+                changed |= self._force_singletons()
+        return self
+
+    def _drop_subset_sets(self) -> bool:
+        """Rule 2: remove any set that is a subset of another set."""
+        channels = sorted(self.sets)
+        doomed: set[int] = set()
+        for i, a in enumerate(channels):
+            if a in doomed:
+                continue
+            for b in channels[i + 1:]:
+                if b in doomed:
+                    continue
+                sa, sb = self.sets[a], self.sets[b]
+                if sa <= sb:
+                    doomed.add(a)
+                    break
+                if sb <= sa:
+                    doomed.add(b)
+        for channel in doomed:
+            del self.sets[channel]
+        return bool(doomed)
+
+    def _force_singletons(self) -> bool:
+        """Rule 3: a cycle covered by one edge pins that edge's weight.
+
+        The forced increment is immediately discounted from *every*
+        cycle the edge covers (its tokens help all of them), and the
+        edge stays in the instance -- a later singleton may force it
+        further.
+        """
+        changed = False
+        for idx in list(self.deficits):
+            if idx not in self.deficits:
+                continue  # discounted away by an earlier forcing
+            channels = self.covering_channels(idx)
+            if not channels:
+                raise InfeasibleError(
+                    f"cycle through {self.cycles[idx].node_path} has no "
+                    "sizable backedge"
+                )
+            if len(channels) > 1:
+                continue
+            channel = channels.pop()
+            increment = self.deficits[idx]
+            self.forced[channel] = self.forced.get(channel, 0) + increment
+            changed = True
+            self._discount(channel, increment)
+        return changed
+
+    def _discount(self, channel: int, amount: int) -> None:
+        """Reduce the residual deficit of every cycle covered by
+        ``channel`` by ``amount``, dropping fully covered cycles."""
+        for idx in list(self.sets.get(channel, ())):
+            if idx not in self.deficits:
+                continue
+            residual = self.deficits[idx] - amount
+            if residual <= 0:
+                del self.deficits[idx]
+                for covered in self.sets.values():
+                    covered.discard(idx)
+            else:
+                self.deficits[idx] = residual
+        # Drop channels whose coverage became empty.
+        for ch in [c for c, cov in self.sets.items() if not cov]:
+            del self.sets[ch]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TokenDeficitInstance(cycles={len(self.deficits)}, "
+            f"sets={len(self.sets)}, forced={self.forced})"
+        )
+
+
+def build_td_instance(
+    lis: LisGraph,
+    target: Fraction | None = None,
+    extra_tokens: dict[int, int] | None = None,
+    max_cycles: int | None = None,
+    simplify: bool = True,
+) -> TokenDeficitInstance:
+    """Build a TD instance for ``lis``.
+
+    Args:
+        lis: The system to size (baseline queues as configured).
+        target: Throughput to restore; defaults to the ideal MST.
+        extra_tokens: Already-committed extra queue tokens (the
+            instance then covers only the *residual* degradation).
+        max_cycles: Optional cycle-enumeration budget.
+        simplify: Apply rules 2-3 before returning.
+
+    Raises:
+        InfeasibleError: If a deficient cycle crosses no sizable
+            backedge (cannot happen for doubled graphs built by
+            :meth:`LisGraph.doubled_marked_graph`, whose every
+            MST-reducing cycle includes at least one shell backedge or
+            is an all-forward cycle already counted in the ideal MST).
+    """
+    goal = target if target is not None else ideal_mst(lis).mst
+    doubled = lis.doubled_marked_graph(extra_tokens)
+    records = deficient_cycles(doubled, goal, max_cycles=max_cycles)
+
+    deficits: dict[int, int] = {}
+    sets: dict[int, set[int]] = {}
+    for idx, record in enumerate(records):
+        deficits[idx] = record.deficit(goal)
+        for channel in record.channels:
+            sets.setdefault(channel, set()).add(idx)
+
+    instance = TokenDeficitInstance(
+        deficits=deficits, sets=sets, cycles=records, target=goal
+    )
+    if simplify:
+        instance.simplify()
+    elif any(not record.channels for record in records):
+        raise InfeasibleError("deficient cycle without sizable backedges")
+    return instance

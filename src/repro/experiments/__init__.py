@@ -1,0 +1,24 @@
+"""Shared experiment harness: runners, table rendering, sizing knobs."""
+
+from .config import cofdm_limit, exact_timeout, trials
+from .runners import (
+    Table4Row,
+    fig16_mst_degradation,
+    fig17_fixed_queue_recovery,
+    table4_exact_vs_heuristic,
+)
+from .tables import format_cell, render_table, results_dir, save_result
+
+__all__ = [
+    "cofdm_limit",
+    "exact_timeout",
+    "trials",
+    "Table4Row",
+    "fig16_mst_degradation",
+    "fig17_fixed_queue_recovery",
+    "table4_exact_vs_heuristic",
+    "format_cell",
+    "render_table",
+    "results_dir",
+    "save_result",
+]

@@ -1,0 +1,71 @@
+"""ASCII table rendering and result persistence for experiments.
+
+Every benchmark regenerates one of the paper's tables or figures as a
+plain-text table; this module renders and stores them uniformly under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["format_cell", "render_table", "results_dir", "save_result"]
+
+
+def format_cell(value: Any) -> str:
+    """Human-friendly formatting: Fractions as fixed-point, floats
+    rounded, everything else via str()."""
+    if isinstance(value, Fraction):
+        return f"{float(value):.3f}"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    headers: list[str], rows: Iterable[Iterable[Any]], title: str | None = None
+) -> str:
+    """A boxless aligned ASCII table."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [
+        max([len(h)] + [len(r[i]) for r in str_rows])
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def results_dir() -> Path:
+    """Where benchmark tables are persisted (created on demand).
+
+    Defaults to ``benchmarks/results`` relative to the repository root;
+    override with the ``REPRO_RESULTS_DIR`` environment variable.
+    """
+    override = os.environ.get("REPRO_RESULTS_DIR")
+    if override:
+        path = Path(override)
+    else:
+        path = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_result(name: str, text: str) -> Path:
+    """Persist a rendered table under ``benchmarks/results/<name>.txt``."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

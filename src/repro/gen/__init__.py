@@ -1,0 +1,28 @@
+"""Synthetic LIS generation: random topologies (Section VIII) and the
+named examples from the paper's figures."""
+
+from .generator import GeneratorConfig, GeneratorError, generate_lis
+from .examples import (
+    fig1_lis,
+    fig2_left_lis,
+    fig2_right_lis,
+    fig10_limiter_lis,
+    fig15_lis,
+    ring_lis,
+    tree_lis,
+    uplink_downlink_lis,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "GeneratorError",
+    "generate_lis",
+    "fig1_lis",
+    "fig2_left_lis",
+    "fig2_right_lis",
+    "fig10_limiter_lis",
+    "fig15_lis",
+    "ring_lis",
+    "tree_lis",
+    "uplink_downlink_lis",
+]

@@ -1,0 +1,83 @@
+"""Serialization helpers for :class:`~repro.graphs.digraph.Digraph`.
+
+Provides a stable edge-list text format (round-trippable, used by the
+experiment harness to persist generated topologies) and Graphviz DOT
+export for visual inspection of marked graphs, with the paper's
+conventions: dashed backedges, token counts as edge labels, boxes for
+relay stations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from .digraph import Digraph, Edge
+
+__all__ = ["to_edgelist", "from_edgelist", "to_dot"]
+
+
+def to_edgelist(graph: Digraph) -> str:
+    """Serialize to a line-oriented JSON edge-list format.
+
+    Line 1 is a JSON object of node -> attribute dict; each subsequent
+    line is one edge as ``[src, dst, attrs]``.  Node names must be
+    strings (or JSON-representable); edge keys are regenerated on load
+    in serialization order.
+    """
+    lines = [json.dumps({str(n): graph.node_data(n) for n in graph.nodes})]
+    for edge in sorted(graph.edges, key=lambda e: e.key):
+        lines.append(json.dumps([str(edge.src), str(edge.dst), edge.data]))
+    return "\n".join(lines) + "\n"
+
+
+def from_edgelist(text: str) -> Digraph:
+    """Parse the format produced by :func:`to_edgelist`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    graph = Digraph()
+    if not lines:
+        return graph
+    for node, attrs in json.loads(lines[0]).items():
+        graph.add_node(node, **attrs)
+    for line in lines[1:]:
+        src, dst, attrs = json.loads(line)
+        graph.add_edge(src, dst, **attrs)
+    return graph
+
+
+def to_dot(
+    graph: Digraph,
+    name: str = "lis",
+    edge_label: Callable[[Edge], str] | None = None,
+    node_shape: Callable[[object], str] | None = None,
+) -> str:
+    """Graphviz DOT rendering.
+
+    Edges whose ``data['kind'] == 'back'`` are drawn dashed, following
+    the paper's figures.  ``edge_label`` defaults to showing the
+    ``tokens`` attribute when present.
+    """
+
+    def default_label(edge: Edge) -> str:
+        tokens = edge.data.get("tokens")
+        return "" if tokens is None else str(tokens)
+
+    label_fn = edge_label or default_label
+    out = [f"digraph {json.dumps(name)} {{"]
+    for node in graph.nodes:
+        shape = node_shape(node) if node_shape else "ellipse"
+        out.append(f"  {json.dumps(str(node))} [shape={shape}];")
+    for edge in sorted(graph.edges, key=lambda e: e.key):
+        attrs = []
+        label = label_fn(edge)
+        if label:
+            attrs.append(f"label={json.dumps(label)}")
+        if edge.data.get("kind") == "back":
+            attrs.append("style=dashed")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        out.append(
+            f"  {json.dumps(str(edge.src))} -> "
+            f"{json.dumps(str(edge.dst))}{suffix};"
+        )
+    out.append("}")
+    return "\n".join(out) + "\n"

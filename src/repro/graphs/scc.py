@@ -1,0 +1,126 @@
+"""Strongly connected components and condensation.
+
+The maximal-sustainable-throughput definition of the paper (Section
+III-C) decomposes a marked graph into its strongly connected components
+(SCCs): the MST of the whole system is the minimum MST over its SCC
+subgraphs.  The condensation (the DAG of SCCs) is also the object on
+which reconvergent paths between SCCs are detected and on which the
+SCC-collapse simplification of Section VII-A operates.
+
+Tarjan's algorithm is implemented iteratively.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from .digraph import Digraph
+
+__all__ = [
+    "strongly_connected_components",
+    "condensation",
+    "is_strongly_connected",
+    "scc_of",
+]
+
+
+def strongly_connected_components(graph: Digraph) -> list[list[Hashable]]:
+    """Tarjan's SCC algorithm (iterative).
+
+    Returns the components as lists of nodes, in reverse topological
+    order of the condensation (a Tarjan property: each component is
+    emitted only after every component it can reach).
+    """
+    index_of: dict[Hashable, int] = {}
+    lowlink: dict[Hashable, int] = {}
+    on_stack: set[Hashable] = set()
+    stack: list[Hashable] = []
+    components: list[list[Hashable]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root in index_of:
+            continue
+        # Each frame is (node, iterator over successors).
+        work = [(root, iter(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succs = work[-1]
+            advanced = False
+            for succ in succs:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: list[Hashable] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                components.append(component)
+    return components
+
+
+def scc_of(graph: Digraph) -> dict[Hashable, int]:
+    """Map each node to the index of its SCC.
+
+    Indices follow the order returned by
+    :func:`strongly_connected_components` (reverse topological).
+    """
+    mapping: dict[Hashable, int] = {}
+    for idx, component in enumerate(strongly_connected_components(graph)):
+        for node in component:
+            mapping[node] = idx
+    return mapping
+
+
+def is_strongly_connected(graph: Digraph) -> bool:
+    """True if the graph is non-empty and forms a single SCC."""
+    if graph.number_of_nodes() == 0:
+        return False
+    return len(strongly_connected_components(graph)) == 1
+
+
+def condensation(graph: Digraph) -> tuple[Digraph, dict[Hashable, int]]:
+    """The component DAG of ``graph``.
+
+    Returns ``(dag, mapping)`` where ``dag`` has one node per SCC (the
+    SCC index, an int) and one edge per inter-SCC edge of ``graph``
+    (parallel inter-SCC edges are preserved, since they correspond to
+    distinct channels; each condensation edge stores the key of the
+    originating edge in its ``data['origin']``), and ``mapping`` sends
+    each original node to its SCC index.
+
+    Each condensation node stores its member list in ``data['members']``.
+    """
+    components = strongly_connected_components(graph)
+    mapping: dict[Hashable, int] = {}
+    for idx, component in enumerate(components):
+        for node in component:
+            mapping[node] = idx
+    dag = Digraph()
+    for idx, component in enumerate(components):
+        dag.add_node(idx, members=list(component))
+    for edge in graph.edges:
+        a, b = mapping[edge.src], mapping[edge.dst]
+        if a != b:
+            dag.add_edge(a, b, origin=edge.key)
+    return dag, mapping

@@ -1,0 +1,73 @@
+"""Environment models for open latency-insensitive systems.
+
+The paper's performance model separates two throughput factors: the
+internal structure of the LIS (captured by the MST) and the behaviour
+of the environment, which can slow the system below its MST either by
+withholding valid data at the inputs or by stalling consumption at the
+outputs.  This module provides firing *gates* -- predicates plugged
+into :class:`~repro.lis.rtl_sim.RtlSimulator` -- that model common
+environments, so examples and tests can exercise the "LIS runs at
+min(MST, environment rate)" behaviour.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .rtl_sim import Gate
+
+__all__ = [
+    "always_ready",
+    "rate_limited",
+    "periodic_stall",
+    "bursty",
+]
+
+
+def always_ready() -> Gate:
+    """An environment that never constrains the shell."""
+    return lambda clock, firing_index: True
+
+
+def rate_limited(rate: Fraction) -> Gate:
+    """Valid data arrives at the given long-run rate (0 < rate <= 1).
+
+    Implemented as the evenly-spread token schedule: the k-th firing is
+    allowed from clock ``ceil(k / rate)`` on, which yields exactly
+    ``floor(rate * t)`` firings in any prefix of ``t`` clocks when the
+    rest of the system keeps up.
+    """
+    rate = Fraction(rate)
+    if not 0 < rate <= 1:
+        raise ValueError(f"rate must be in (0, 1], got {rate}")
+
+    def gate(clock: int, firing_index: int) -> bool:
+        # Allow firing k at the first clock where k+1 <= rate * (clock+1).
+        return (firing_index + 1) * rate.denominator <= rate.numerator * (
+            clock + 1
+        )
+
+    return gate
+
+
+def periodic_stall(period: int, stall_len: int = 1, offset: int = 0) -> Gate:
+    """The environment stalls ``stall_len`` clocks out of every ``period``."""
+    if period <= 0 or not 0 <= stall_len <= period:
+        raise ValueError("need 0 <= stall_len <= period and period > 0")
+
+    def gate(clock: int, firing_index: int) -> bool:
+        return (clock - offset) % period >= stall_len
+
+    return gate
+
+
+def bursty(burst: int, gap: int) -> Gate:
+    """``burst`` ready clocks followed by ``gap`` stalled clocks."""
+    if burst <= 0 or gap < 0:
+        raise ValueError("burst must be positive and gap non-negative")
+    period = burst + gap
+
+    def gate(clock: int, firing_index: int) -> bool:
+        return clock % period < burst
+
+    return gate

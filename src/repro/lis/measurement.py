@@ -1,0 +1,115 @@
+"""Empirical throughput measurement and analytic cross-validation.
+
+The static analysis (:func:`repro.core.throughput.actual_mst`) and the
+two simulators must agree: for a closed, live LIS the long-run valid
+output rate of every shell in the slowest SCC converges to the MST.
+This module packages that comparison; it backs both the test-suite's
+cross-validation properties and the ``sim_xval`` benchmark.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable
+
+from ..core.lis_graph import LisGraph
+from ..core.throughput import actual_mst
+from .rtl_sim import RtlSimulator
+from .trace_sim import TraceSimulator
+
+__all__ = ["measured_throughput", "crossvalidate", "effective_throughput"]
+
+
+def effective_throughput(
+    lis: LisGraph,
+    environment_rates: dict[Hashable, Fraction] | None = None,
+    extra_tokens: dict[int, int] | None = None,
+) -> Fraction:
+    """Analytic long-run rate of a (weakly connected) practical LIS in
+    an environment that gates some shells to long-run rates.
+
+    The doubled graph of a weakly connected LIS is strongly connected
+    (every channel contributes a backedge), so all shells settle to a
+    single common rate; an environment gate at rate ``r`` on any shell
+    paces the whole system through the same token-conservation
+    argument.  Hence::
+
+        effective = min(MST(d[G]),  min over gated shells of r)
+
+    Validated against both simulators by the test-suite.
+    """
+    rate = actual_mst(lis, extra_tokens).mst
+    for shell, gate_rate in (environment_rates or {}).items():
+        if shell not in lis.system:
+            raise ValueError(f"no shell {shell!r} in the system")
+        if not 0 < gate_rate <= 1:
+            raise ValueError(f"environment rate must be in (0, 1]: {gate_rate}")
+        rate = min(rate, Fraction(gate_rate))
+    return rate
+
+
+def measured_throughput(
+    lis: LisGraph,
+    shell: Hashable,
+    clocks: int = 400,
+    warmup: int = 100,
+    simulator: str = "trace",
+    extra_tokens: dict[int, int] | None = None,
+) -> Fraction:
+    """Long-run firing rate of ``shell`` under the chosen simulator."""
+    if simulator == "trace":
+        sim: TraceSimulator | RtlSimulator = TraceSimulator(
+            lis, extra_tokens=extra_tokens
+        )
+    elif simulator == "rtl":
+        sim = RtlSimulator(lis, extra_tokens=extra_tokens)
+    else:
+        raise ValueError(f"unknown simulator {simulator!r}")
+    sim.run(warmup + clocks)
+    return sim.trace.throughput(shell, skip=warmup)
+
+
+def crossvalidate(
+    lis: LisGraph,
+    clocks: int = 400,
+    warmup: int = 100,
+    tolerance: Fraction = Fraction(1, 25),
+    extra_tokens: dict[int, int] | None = None,
+) -> dict:
+    """Compare analytic MST against both simulators.
+
+    Measures the rate of a shell on the limiting critical cycle (or an
+    arbitrary shell when the MST is 1) and returns a report dict with
+    ``analytic``, ``trace``, ``rtl`` rates and ``agreed`` (True when
+    both empirical rates are within ``tolerance`` of the analytic MST).
+
+    The finite-horizon rate of a periodic system differs from the
+    asymptotic rate by O(1/clocks), hence the tolerance.
+    """
+    analysis = actual_mst(lis, extra_tokens)
+    if analysis.limiting_scc:
+        candidates = [
+            node
+            for node in analysis.limiting_scc
+            if not (isinstance(node, tuple) and node and node[0] == "rs")
+        ]
+        probe = candidates[0] if candidates else next(iter(analysis.limiting_scc))
+    else:
+        probe = lis.shells()[0]
+    trace_rate = measured_throughput(
+        lis, probe, clocks, warmup, "trace", extra_tokens
+    )
+    rtl_rate = measured_throughput(
+        lis, probe, clocks, warmup, "rtl", extra_tokens
+    )
+    agreed = (
+        abs(trace_rate - analysis.mst) <= tolerance
+        and abs(rtl_rate - analysis.mst) <= tolerance
+    )
+    return {
+        "probe": probe,
+        "analytic": analysis.mst,
+        "trace": trace_rate,
+        "rtl": rtl_rate,
+        "agreed": agreed,
+    }

@@ -1,0 +1,149 @@
+"""Protocol-level vocabulary of latency-insensitive design.
+
+A LIS channel carries *valid* (informative) data items or *void*
+(stalling) items, written tau in the paper.  This module defines the
+void sentinel, trace containers shared by both simulators, and the
+behavioural description of a core that both simulators execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Hashable, Mapping
+
+__all__ = ["TAU", "Tau", "ShellBehavior", "Trace", "adder", "counter"]
+
+
+class Tau:
+    """The void data item (tau): a stalling event on a channel."""
+
+    _instance: "Tau | None" = None
+
+    def __new__(cls) -> "Tau":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "τ"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The singleton void item.
+TAU = Tau()
+
+
+@dataclass
+class ShellBehavior:
+    """What a shell's core computes and what it latches at reset.
+
+    Attributes:
+        initial: Per-output-channel initial latched outputs: either a
+            mapping ``{channel id: value}`` or a single value broadcast
+            to every output channel.  This is the data the shell
+            transfers during the first clock period (firing 0).
+        fn: The core function, called on firings 1, 2, ...: receives
+            the consumed input values as ``{input channel id: value}``
+            and returns either a mapping ``{output channel id: value}``
+            or a single broadcast value.  Sources (no input channels)
+            receive an empty mapping; stateful sources may close over
+            mutable state.  ``None`` means "broadcast the tuple of
+            inputs" -- a simple pass-through useful in tests.
+    """
+
+    initial: Any = 0
+    fn: Callable[[Mapping[int, Any]], Any] | None = None
+
+    def initial_for(self, channel: int) -> Any:
+        if isinstance(self.initial, Mapping):
+            return self.initial[channel]
+        return self.initial
+
+    def outputs_for(
+        self, result: Any, out_channels: list[int]
+    ) -> dict[int, Any]:
+        if isinstance(result, Mapping):
+            return {cid: result[cid] for cid in out_channels}
+        return {cid: result for cid in out_channels}
+
+    def compute(self, inputs: Mapping[int, Any]) -> Any:
+        if self.fn is None:
+            values = tuple(inputs[k] for k in sorted(inputs))
+            if len(values) == 1:
+                return values[0]
+            return values
+        return self.fn(inputs)
+
+
+def adder(initial: Any = 0) -> ShellBehavior:
+    """A core that sums its inputs (the paper's module B in Table I)."""
+    return ShellBehavior(
+        initial=initial, fn=lambda inputs: sum(inputs.values())
+    )
+
+
+def counter(start: int = 0, step: int = 1, initial=None) -> ShellBehavior:
+    """A source that emits ``start, start+step, ...`` (module A emits the
+    even numbers on one channel with ``counter(0, 2)``).
+
+    Firing 0 emits ``start`` (the initial latched output); firing k
+    emits ``start + k*step``.
+    """
+    state = {"next": start + step}
+
+    def fn(_inputs):
+        value = state["next"]
+        state["next"] += step
+        return value
+
+    return ShellBehavior(initial=start if initial is None else initial, fn=fn)
+
+
+@dataclass
+class Trace:
+    """Per-clock output traces of every node in a simulated LIS.
+
+    ``outputs[node]`` is a list indexed by clock period; each entry is
+    the value produced that clock (on the node's first output channel)
+    or :data:`TAU` when the node stalled.  Relay stations appear under
+    their expanded names.
+    """
+
+    outputs: dict[Hashable, list[Any]] = field(default_factory=dict)
+    fired: dict[Hashable, list[bool]] = field(default_factory=dict)
+    clocks: int = 0
+
+    def record(self, node: Hashable, value: Any, did_fire: bool) -> None:
+        self.outputs.setdefault(node, []).append(value)
+        self.fired.setdefault(node, []).append(did_fire)
+
+    def row(self, node: Hashable) -> list[Any]:
+        return self.outputs[node]
+
+    def throughput(self, node: Hashable, skip: int = 0) -> Fraction:
+        """Valid-output rate of ``node``: firings / clocks after ``skip``."""
+        flags = self.fired[node][skip:]
+        if not flags:
+            raise ValueError("no clocks recorded after skip")
+        return Fraction(sum(flags), len(flags))
+
+    def format_table(self, nodes: list[Hashable] | None = None) -> str:
+        """ASCII rendering in the style of the paper's Table I."""
+        chosen = nodes if nodes is not None else sorted(
+            self.outputs, key=repr
+        )
+        header = ["output"] + [f"t{i}" for i in range(self.clocks)]
+        rows = [header]
+        for node in chosen:
+            rows.append([str(node)] + [repr(v) for v in self.outputs[node]])
+        widths = [
+            max(len(row[i]) for row in rows) for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            for row in rows
+        ]
+        return "\n".join(lines)

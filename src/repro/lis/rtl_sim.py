@@ -1,0 +1,340 @@
+"""Structural (RTL-style) simulator of a latency-insensitive system.
+
+An independent second implementation of LIS semantics, used to
+cross-validate :mod:`repro.lis.trace_sim` and the static analysis.
+Instead of executing a marked graph, it instantiates the protocol
+hardware the paper describes:
+
+* :class:`RtlShell` -- a shell with one bypassable input queue per
+  channel and AND-firing: the core fires only when every input queue
+  holds valid data *and* every downstream consumer can accept a new
+  item; otherwise the core is stalled (clock-gated) and emits void.
+  A shell asserts ``stop`` on an input channel exactly when that
+  queue is full.
+* :class:`RtlRelayStation` -- the twofold buffer (main + auxiliary
+  register): it forwards one item per cycle while the downstream
+  accepts, absorbs one extra in-flight item when stopped, and asserts
+  ``stop`` upstream when both registers are occupied.
+* :class:`Environment` gates -- optional per-shell firing gates that
+  model an environment supplying valid data at a limited rate or a
+  consumer stalling the system, the paper's "interaction with the
+  environment" factor.
+
+All fire/stop decisions are functions of start-of-cycle state
+(registered stop semantics), which is exactly the step semantics of
+the marked-graph model; absent environment gates, the two simulators
+agree cycle-for-cycle, and the test-suite asserts it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from fractions import Fraction
+from typing import Any, Callable, Hashable, Mapping
+
+from ..core.lis_graph import LisGraph, relay_name, stage_name
+from .protocol import TAU, ShellBehavior, Trace
+
+__all__ = [
+    "RtlSimulator",
+    "RtlShell",
+    "RtlRelayStation",
+    "RtlPipelineStage",
+    "simulate_rtl",
+]
+
+#: A firing gate: (clock, firing_index) -> may the shell fire this cycle?
+Gate = Callable[[int, int], bool]
+
+_RESET = object()  # placeholder occupying shell queues at reset
+
+
+class _Segment:
+    """One hop of a channel: producer -> consumer with a receive queue.
+
+    The queue lives at the consumer: depth ``capacity`` (the shell's
+    queue for final hops, 2 for hops into relay stations).  ``stop`` is
+    asserted to the producer when the queue is full at cycle start.
+    """
+
+    __slots__ = ("channel", "producer", "consumer", "capacity", "queue")
+
+    def __init__(self, channel: int, producer, consumer, capacity: int):
+        self.channel = channel
+        self.producer = producer
+        self.consumer = consumer
+        self.capacity = capacity
+        self.queue: deque = deque()
+
+    @property
+    def stop(self) -> bool:
+        return len(self.queue) >= self.capacity
+
+    @property
+    def has_data(self) -> bool:
+        return bool(self.queue)
+
+
+def _value_for(segment: "_Segment", value: Any) -> Any:
+    """Per-channel unwrap when forwarding a multi-channel mapping."""
+    if isinstance(value, Mapping) and segment.channel in value:
+        return value[segment.channel]
+    return value
+
+
+class RtlShell:
+    """A shell-encapsulated core with AND-firing and backpressure.
+
+    For multi-cycle cores (latency > 1), ``outputs`` is the single
+    internal segment into the first pipeline stage and
+    ``out_channels`` lists the real output channel ids the core's
+    result mapping is keyed by.
+    """
+
+    def __init__(self, name: Hashable, behavior: ShellBehavior, gate: Gate | None):
+        self.name = name
+        self.behavior = behavior
+        self.gate = gate
+        self.inputs: list[_Segment] = []
+        self.outputs: list[_Segment] = []
+        self.out_channels: list[int] = []
+        self.firing_index = 0
+
+    def can_fire(self, clock: int) -> bool:
+        if any(not seg.has_data for seg in self.inputs):
+            return False  # AND-firing: a missing input stalls the core
+        if any(seg.stop for seg in self.outputs):
+            return False  # backpressure from downstream
+        if self.gate is not None and not self.gate(clock, self.firing_index):
+            return False  # environment withholds data / stalls us
+        return True
+
+    def consume(self) -> dict[int, Any]:
+        return {seg.channel: seg.queue.popleft() for seg in self.inputs}
+
+    def produce(self, consumed: dict[int, Any]) -> tuple[list[Any], Any]:
+        """Returns ``(values aligned with self.outputs, display value)``.
+
+        The display value is what the shell's core emitted this firing
+        -- recorded in the trace even for sink shells with no output
+        channels.
+        """
+        if self.firing_index == 0:
+            if self.out_channels:
+                result: Any = {
+                    cid: self.behavior.initial_for(cid)
+                    for cid in self.out_channels
+                }
+            else:
+                result = self.behavior.initial
+        else:
+            result = self.behavior.compute(consumed)
+        self.firing_index += 1
+        if isinstance(result, Mapping):
+            keyed: Any = {cid: result[cid] for cid in self.out_channels}
+            display = keyed[min(keyed)] if keyed else TAU
+        else:
+            keyed = result
+            display = result
+        return [_value_for(seg, keyed) for seg in self.outputs], display
+
+
+class RtlRelayStation:
+    """The relay station: main + auxiliary register on a wire segment."""
+
+    def __init__(self, name: Hashable):
+        self.name = name
+        self.inputs: list[_Segment] = []  # exactly one
+        self.outputs: list[_Segment] = []  # exactly one
+
+    def can_fire(self, clock: int) -> bool:
+        return self.inputs[0].has_data and not self.outputs[0].stop
+
+    def consume(self) -> dict[int, Any]:
+        seg = self.inputs[0]
+        return {seg.channel: seg.queue.popleft()}
+
+    def produce(self, consumed: dict[int, Any]) -> tuple[list[Any], Any]:
+        (value,) = consumed.values()
+        return [value], value
+
+
+class RtlPipelineStage:
+    """One internal register stage of a multi-cycle core's pipeline.
+
+    Holds one datum, advances when the downstream (next stage, or the
+    shell's output channels at the tail) can accept, and fans a
+    multi-channel result mapping out to the real channels at the tail.
+    """
+
+    def __init__(self, name: Hashable):
+        self.name = name
+        self.inputs: list[_Segment] = []  # exactly one
+        self.outputs: list[_Segment] = []  # one, or the fan-out at the tail
+
+    def can_fire(self, clock: int) -> bool:
+        return self.inputs[0].has_data and not any(
+            seg.stop for seg in self.outputs
+        )
+
+    def consume(self) -> dict[int, Any]:
+        seg = self.inputs[0]
+        return {seg.channel: seg.queue.popleft()}
+
+    def produce(self, consumed: dict[int, Any]) -> tuple[list[Any], Any]:
+        (value,) = consumed.values()
+        values = [_value_for(seg, value) for seg in self.outputs]
+        if isinstance(value, Mapping):
+            display = value[min(value)] if value else TAU
+        else:
+            display = value
+        return values, display
+
+
+class RtlSimulator:
+    """Structural simulation of a practical LIS.
+
+    Args:
+        lis: The system; every channel is expanded into its relay
+            stations and per-hop receive queues.
+        behaviors: ``{shell name: ShellBehavior}`` (defaults like
+            :class:`~repro.lis.trace_sim.TraceSimulator`).
+        extra_tokens: Optional queue-sizing solution; adds slots to the
+            consumer shells' queues.
+        gates: Optional ``{shell name: Gate}`` environment model.
+    """
+
+    def __init__(
+        self,
+        lis: LisGraph,
+        behaviors: Mapping[Hashable, ShellBehavior] | None = None,
+        extra_tokens: dict[int, int] | None = None,
+        gates: Mapping[Hashable, Gate] | None = None,
+    ) -> None:
+        self.lis = lis
+        behaviors = dict(behaviors or {})
+        gates = dict(gates or {})
+        extra = dict(extra_tokens or {})
+
+        self.nodes: dict[Hashable, RtlShell | RtlRelayStation | RtlPipelineStage] = {}
+        self.segments: list[_Segment] = []
+        tails: dict[Hashable, Hashable] = {}
+        for shell in lis.shells():
+            self.nodes[shell] = RtlShell(
+                shell,
+                behaviors.get(shell, ShellBehavior()),
+                gates.get(shell),
+            )
+            self.nodes[shell].out_channels = sorted(
+                e.key for e in lis.system.out_edges(shell)
+            )
+            # Expand multi-cycle cores into internal pipeline stages,
+            # each a one-deep register segment.
+            previous: Hashable = shell
+            for i in range(lis.latency(shell) - 1):
+                stage = stage_name(shell, i)
+                self.nodes[stage] = RtlPipelineStage(stage)
+                # Two-slot elastic stage, mirroring the marked-graph
+                # lowering (a one-deep register would halve the rate).
+                seg = _Segment(
+                    ("latency", shell, i),
+                    self.nodes[previous],
+                    self.nodes[stage],
+                    capacity=2,
+                )
+                self.segments.append(seg)
+                self.nodes[previous].outputs.append(seg)
+                self.nodes[stage].inputs.append(seg)
+                previous = stage
+            tails[shell] = previous
+
+        for channel in lis.channels():
+            hops: list[Hashable] = [tails[channel.src]]
+            for i in range(channel.data["relays"]):
+                rs = relay_name(channel.key, i)
+                self.nodes[rs] = RtlRelayStation(rs)
+                hops.append(rs)
+            hops.append(channel.dst)
+            for i in range(len(hops) - 1):
+                consumer = self.nodes[hops[i + 1]]
+                final = i == len(hops) - 2
+                # A shell accepts q queued items plus the one in its
+                # input latch (the marked graph's initial token, which
+                # occupies the queue at reset as the placeholder below):
+                # forward tokens + backedge tokens = q + 1 per channel.
+                # A relay station is its own two-slot buffer.
+                capacity = (
+                    channel.data["queue"] + extra.get(channel.key, 0) + 1
+                    if final
+                    else 2
+                )
+                seg = _Segment(
+                    channel.key, self.nodes[hops[i]], consumer, capacity
+                )
+                self.segments.append(seg)
+                self.nodes[hops[i]].outputs.append(seg)
+                consumer.inputs.append(seg)
+
+        # Reset state.  The marked-graph model puts one initial token on
+        # every place entering a shell: the data the shell transfers in
+        # the first clock period is already latched, so its firing 0
+        # emits the initial latched outputs without reading real input
+        # data.  Each final receive queue therefore starts with a reset
+        # placeholder (its value is never read: RtlShell.produce ignores
+        # consumed values on firing 0), while hops into relay stations
+        # start empty (relay stations reset to void).
+        for seg in self.segments:
+            if isinstance(seg.consumer, RtlShell):
+                seg.queue.append(_RESET)
+
+        self.clock = 0
+        self.trace = Trace()
+
+    # ------------------------------------------------------------------
+    def step(self) -> set[Hashable]:
+        """One clock period with registered-stop semantics."""
+        firing = {
+            name: node.can_fire(self.clock)
+            for name, node in self.nodes.items()
+        }
+        consumed = {
+            name: self.nodes[name].consume()
+            for name, fired in firing.items()
+            if fired
+        }
+        displays: dict[Hashable, Any] = {}
+        for name, fired in firing.items():
+            if not fired:
+                continue
+            values, display = self.nodes[name].produce(consumed[name])
+            displays[name] = display
+            for seg, value in zip(self.nodes[name].outputs, values):
+                seg.queue.append(value)
+
+        for name in self.nodes:
+            if firing[name]:
+                self.trace.record(name, displays[name], True)
+            else:
+                self.trace.record(name, TAU, False)
+        self.trace.clocks += 1
+        self.clock += 1
+        return {name for name, fired in firing.items() if fired}
+
+    def run(self, clocks: int) -> Trace:
+        for _ in range(clocks):
+            self.step()
+        return self.trace
+
+    def throughput(self, shell: Hashable, skip: int = 0) -> Fraction:
+        return self.trace.throughput(shell, skip=skip)
+
+
+def simulate_rtl(
+    lis: LisGraph,
+    clocks: int,
+    behaviors: Mapping[Hashable, ShellBehavior] | None = None,
+    extra_tokens: dict[int, int] | None = None,
+    gates: Mapping[Hashable, Gate] | None = None,
+) -> Trace:
+    """Convenience wrapper: build an :class:`RtlSimulator` and run it."""
+    return RtlSimulator(lis, behaviors, extra_tokens, gates).run(clocks)

@@ -1,0 +1,216 @@
+"""Data-carrying marked-graph simulator.
+
+This simulator executes a LIS at the protocol level by running the
+*doubled marked graph* under step semantics, but with every forward
+place carrying a FIFO of actual data values rather than anonymous
+tokens.  It regenerates the paper's Table I output traces and provides
+empirical throughput and queue-occupancy measurements that the static
+analysis (:mod:`repro.core.throughput`) is validated against.
+
+Value semantics, following the paper's initialization convention: the
+initial token on a place entering shell ``v`` stands for the data
+``v`` transfers during the first clock period, so
+
+* a shell's firing 0 emits its **initial latched outputs** (the values
+  consumed from its input places at firing 0 are reset placeholders);
+* a shell's firing k >= 1 emits ``fn(values consumed at firing k)``;
+* a relay station simply forwards the value it consumes (it has no
+  initial data: its input place starts empty, hence its first output
+  is tau).
+
+Backedge places carry capacity tokens, not data; they gate firings
+exactly as in the analytical model, which is why the measured
+throughput converges to the computed MST.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Mapping
+
+from ..core.lis_graph import LisGraph
+from .protocol import TAU, ShellBehavior, Trace
+
+__all__ = ["TraceSimulator", "simulate_trace"]
+
+_INIT = object()  # placeholder value carried by initial tokens
+
+
+class TraceSimulator:
+    """Cycle-accurate, data-carrying simulation of a practical LIS.
+
+    Args:
+        lis: The system to simulate (queues/relays as configured).
+        behaviors: ``{shell name: ShellBehavior}``; shells without an
+            entry get the default pass-through behaviour with initial
+            output 0.
+        extra_tokens: Optional queue-sizing solution applied on top of
+            the configured queues (channel id -> extra slots).
+        bounded: With ``False``, simulate the *ideal* LIS -- infinite
+            queues, no backpressure.  Its :meth:`max_queue_occupancy`
+            then reports the true buffering demand of the ideal
+            execution (unbounded for rate-mismatched compositions).
+    """
+
+    def __init__(
+        self,
+        lis: LisGraph,
+        behaviors: Mapping[Hashable, ShellBehavior] | None = None,
+        extra_tokens: dict[int, int] | None = None,
+        bounded: bool = True,
+    ) -> None:
+        self.lis = lis
+        self.behaviors = dict(behaviors or {})
+        if bounded:
+            self.mg = lis.doubled_marked_graph(extra_tokens)
+        else:
+            if extra_tokens:
+                raise ValueError(
+                    "extra_tokens is meaningless for the unbounded "
+                    "(ideal) simulation"
+                )
+            self.mg = lis.ideal_marked_graph()
+        graph = self.mg.graph
+
+        self._is_shell = {
+            node: graph.node_data(node).get("kind") not in ("relay", "stage")
+            for node in graph.nodes
+        }
+        # FIFO of data values per forward place; backedges keep plain
+        # integer token counts inside the marked graph itself.
+        self._fifo: dict[int, deque] = {}
+        for place in self.mg.places:
+            if place.data["kind"] != "fwd":
+                continue
+            self._fifo[place.key] = deque(
+                [_INIT] * place.data["tokens"]
+            )
+        self._firing_index: dict[Hashable, int] = {
+            node: 0 for node in graph.nodes
+        }
+        # Output channel ids per shell (for behaviour output mapping);
+        # relay stations and pipeline stages forward values as-is.  A
+        # multi-cycle shell's core drives internal places, so its real
+        # output channels come from the system graph, not from the
+        # marked graph's out-edges.
+        self._out_channels: dict[Hashable, list[int]] = {}
+        for node in graph.nodes:
+            if self._is_shell[node]:
+                self._out_channels[node] = sorted(
+                    e.key for e in lis.system.out_edges(node)
+                )
+            else:
+                self._out_channels[node] = []
+        self.trace = Trace()
+        self._max_occupancy: dict[int, int] = {
+            key: len(fifo) for key, fifo in self._fifo.items()
+        }
+
+    # ------------------------------------------------------------------
+    def behavior_of(self, node: Hashable) -> ShellBehavior:
+        return self.behaviors.setdefault(node, ShellBehavior())
+
+    def _fire_value(self, node: Hashable, consumed: dict[int, Any]) -> Any:
+        """The value(s) a node emits at its current firing."""
+        if not self._is_shell[node]:
+            # Relay station / pipeline stage: forward the consumed value.
+            (value,) = consumed.values()
+            return value
+        behavior = self.behavior_of(node)
+        k = self._firing_index[node]
+        if k == 0:
+            return {
+                cid: behavior.initial_for(cid)
+                for cid in self._out_channels[node]
+            } if self._out_channels[node] else behavior.initial
+        clean = {
+            cid: val for cid, val in consumed.items() if val is not _INIT
+        }
+        return behavior.compute(clean)
+
+    def step(self) -> set[Hashable]:
+        """One clock period; returns the set of nodes that fired."""
+        graph = self.mg.graph
+        fired = set(self.mg.enabled_transitions())
+
+        # Consume: pop data values and backedge tokens.
+        consumed: dict[Hashable, dict[int, Any]] = {}
+        for node in fired:
+            taken: dict[int, Any] = {}
+            for place in graph.in_edges(node):
+                place.data["tokens"] -= 1
+                if place.data["kind"] == "fwd":
+                    taken[place.data["channel"]] = self._fifo[
+                        place.key
+                    ].popleft()
+            consumed[node] = taken
+
+        # Produce: push output values and return backedge tokens.
+        emitted: dict[Hashable, Any] = {}
+        for node in fired:
+            value = self._fire_value(node, consumed[node])
+            emitted[node] = value
+            for place in graph.out_edges(node):
+                place.data["tokens"] += 1
+                if place.data["kind"] != "fwd":
+                    continue
+                # Per-channel unwrap: a Mapping keyed by the place's
+                # channel resolves to that channel's value; internal
+                # pipeline places (whose channel key is the synthetic
+                # ("latency", shell) marker) carry the whole mapping
+                # down the pipe until the tail stage fans it out.
+                channel = place.data["channel"]
+                if isinstance(value, Mapping) and channel in value:
+                    out_value = value[channel]
+                else:
+                    out_value = value
+                fifo = self._fifo[place.key]
+                fifo.append(out_value)
+                if len(fifo) > self._max_occupancy[place.key]:
+                    self._max_occupancy[place.key] = len(fifo)
+            self._firing_index[node] += 1
+
+        # Record the trace row for this clock.
+        for node in graph.nodes:
+            if node in fired:
+                value = emitted[node]
+                if isinstance(value, Mapping):
+                    display = value[min(value)] if value else TAU
+                else:
+                    display = value
+                self.trace.record(node, display, True)
+            else:
+                self.trace.record(node, TAU, False)
+        self.trace.clocks += 1
+        return fired
+
+    def run(self, clocks: int) -> Trace:
+        for _ in range(clocks):
+            self.step()
+        return self.trace
+
+    # ------------------------------------------------------------------
+    def max_queue_occupancy(self) -> dict[int, int]:
+        """Peak occupancy per channel's shell input queue.
+
+        This is the empirical buffer requirement: the largest number of
+        data items simultaneously waiting on each channel's final
+        segment (the consumer shell's queue).
+        """
+        out: dict[int, int] = {}
+        for place in self.mg.places:
+            if place.data["kind"] != "fwd" or place.data.get("internal"):
+                continue
+            if self._is_shell[place.dst]:
+                out[place.data["channel"]] = self._max_occupancy[place.key]
+        return out
+
+
+def simulate_trace(
+    lis: LisGraph,
+    clocks: int,
+    behaviors: Mapping[Hashable, ShellBehavior] | None = None,
+    extra_tokens: dict[int, int] | None = None,
+) -> Trace:
+    """Convenience wrapper: build a :class:`TraceSimulator` and run it."""
+    return TraceSimulator(lis, behaviors, extra_tokens).run(clocks)

@@ -1,0 +1,42 @@
+"""Physical-design substrate: floorplanning and wire pipelining.
+
+Relay stations exist because wires got long: after floorplanning, any
+channel whose wire flight time exceeds the clock period must be
+pipelined (the paper's Section I and its Section IX observation that
+"locations for relay-station insertion are selected only after
+floorplanning has been carried out").  This package provides the
+minimal physical stack to close that loop inside the library:
+
+* :mod:`repro.physical.floorplan` -- block shapes, slot-grid
+  placements, a deterministic shelf packer and a simulated-annealing
+  wirelength optimizer;
+* :mod:`repro.physical.wires` -- Manhattan lengths and a linear wire
+  delay model that converts lengths into relay-station counts;
+* :mod:`repro.physical.flow` -- the end-to-end flow: place, measure,
+  pipeline, analyze the MST, and repair it with queue sizing.
+"""
+
+from .floorplan import (
+    Block,
+    Floorplan,
+    FloorplanError,
+    anneal_placement,
+    shelf_placement,
+    total_wirelength,
+)
+from .wires import WireModel, manhattan
+from .flow import FlowReport, design_flow, pipeline_wires
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "FloorplanError",
+    "anneal_placement",
+    "shelf_placement",
+    "total_wirelength",
+    "WireModel",
+    "manhattan",
+    "FlowReport",
+    "design_flow",
+    "pipeline_wires",
+]

@@ -1,0 +1,225 @@
+"""Block placement for latency-insensitive SoCs.
+
+Deliberately simple but real: rectangular hard blocks placed without
+overlap on a continuous plane.  Two placers are provided --
+
+* :func:`shelf_placement`, a deterministic next-fit shelf packer used
+  as a baseline and as the annealer's starting point;
+* :func:`anneal_placement`, simulated annealing over block-position
+  swaps and shelf re-orderings, minimizing total channel wirelength
+  (half-perimeter equals Manhattan for two-pin nets).
+
+Both return a :class:`Floorplan`, from which the wire model derives
+per-channel lengths and relay-station requirements.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+from ..core.lis_graph import LisGraph
+from .wires import manhattan
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "FloorplanError",
+    "shelf_placement",
+    "anneal_placement",
+    "total_wirelength",
+]
+
+
+class FloorplanError(Exception):
+    """Raised on invalid block sets or placements."""
+
+
+@dataclass(frozen=True)
+class Block:
+    """A hard rectangular block.
+
+    Dimensions are in millimetres (any consistent length unit works;
+    the wire model only multiplies lengths by a delay density).
+    """
+
+    name: Hashable
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise FloorplanError(
+                f"block {self.name!r} needs positive dimensions"
+            )
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+@dataclass
+class Floorplan:
+    """Lower-left block positions plus the block shapes.
+
+    Positions are ``{block name: (x, y)}``; use :meth:`center` for
+    wirelength queries and :meth:`validate` to assert non-overlap.
+    """
+
+    blocks: dict[Hashable, Block]
+    positions: dict[Hashable, tuple[float, float]]
+
+    def center(self, name: Hashable) -> tuple[float, float]:
+        block = self.blocks[name]
+        x, y = self.positions[name]
+        return (x + block.width / 2, y + block.height / 2)
+
+    def bounding_box(self) -> tuple[float, float]:
+        """Width and height of the smallest enclosing rectangle."""
+        if not self.positions:
+            return (0.0, 0.0)
+        xs = [
+            self.positions[n][0] + self.blocks[n].width
+            for n in self.positions
+        ]
+        ys = [
+            self.positions[n][1] + self.blocks[n].height
+            for n in self.positions
+        ]
+        return (max(xs), max(ys))
+
+    def validate(self) -> None:
+        """Raise :class:`FloorplanError` on overlap or missing blocks."""
+        missing = set(self.blocks) - set(self.positions)
+        if missing:
+            raise FloorplanError(f"unplaced blocks: {sorted(map(repr, missing))}")
+        names = list(self.positions)
+        for i, a in enumerate(names):
+            ax, ay = self.positions[a]
+            ab = self.blocks[a]
+            for b in names[i + 1:]:
+                bx, by = self.positions[b]
+                bb = self.blocks[b]
+                separated = (
+                    ax + ab.width <= bx
+                    or bx + bb.width <= ax
+                    or ay + ab.height <= by
+                    or by + bb.height <= ay
+                )
+                if not separated:
+                    raise FloorplanError(f"blocks {a!r} and {b!r} overlap")
+
+    def wire_length(self, src: Hashable, dst: Hashable) -> float:
+        """Manhattan center-to-center length of a channel's wires."""
+        return manhattan(self.center(src), self.center(dst))
+
+
+def total_wirelength(floorplan: Floorplan, lis: LisGraph) -> float:
+    """Sum of Manhattan lengths over every channel of ``lis``."""
+    return sum(
+        floorplan.wire_length(channel.src, channel.dst)
+        for channel in lis.channels()
+    )
+
+
+def _shelf_pack(
+    blocks: list[Block], order: list[int], max_width: float
+) -> dict[Hashable, tuple[float, float]]:
+    """Next-fit shelf packing of ``blocks`` in the given order."""
+    positions: dict[Hashable, tuple[float, float]] = {}
+    x = y = shelf_height = 0.0
+    for idx in order:
+        block = blocks[idx]
+        if x > 0 and x + block.width > max_width:
+            y += shelf_height
+            x = shelf_height = 0.0
+        positions[block.name] = (x, y)
+        x += block.width
+        shelf_height = max(shelf_height, block.height)
+    return positions
+
+
+def shelf_placement(
+    blocks: Iterable[Block], aspect: float = 1.0
+) -> Floorplan:
+    """Deterministic next-fit shelf packing.
+
+    Blocks are packed in the given order into shelves whose width is
+    chosen from the total area and the requested aspect ratio, giving a
+    roughly square die by default.
+    """
+    block_list = list(blocks)
+    if not block_list:
+        raise FloorplanError("no blocks to place")
+    names = [b.name for b in block_list]
+    if len(set(names)) != len(names):
+        raise FloorplanError("duplicate block names")
+    area = sum(b.area for b in block_list)
+    widest = max(b.width for b in block_list)
+    max_width = max(widest, math.sqrt(area * aspect) * 1.1)
+    positions = _shelf_pack(block_list, list(range(len(block_list))), max_width)
+    plan = Floorplan(
+        blocks={b.name: b for b in block_list}, positions=positions
+    )
+    plan.validate()
+    return plan
+
+
+def anneal_placement(
+    blocks: Iterable[Block],
+    lis: LisGraph,
+    seed: int | None = None,
+    iterations: int = 2000,
+    aspect: float = 1.0,
+) -> Floorplan:
+    """Simulated annealing over shelf orders, minimizing wirelength.
+
+    The move set permutes the packing order (pairwise swaps), which
+    keeps every intermediate placement overlap-free by construction.
+    Deterministic for a fixed ``seed``.
+    """
+    block_list = list(blocks)
+    if not block_list:
+        raise FloorplanError("no blocks to place")
+    rng = random.Random(seed)
+    area = sum(b.area for b in block_list)
+    widest = max(b.width for b in block_list)
+    max_width = max(widest, math.sqrt(area * aspect) * 1.1)
+    block_map = {b.name: b for b in block_list}
+
+    def cost(order: list[int]) -> float:
+        plan = Floorplan(
+            blocks=block_map,
+            positions=_shelf_pack(block_list, order, max_width),
+        )
+        return total_wirelength(plan, lis)
+
+    order = list(range(len(block_list)))
+    best_order = list(order)
+    current_cost = best_cost = cost(order)
+    temperature = max(current_cost, 1.0)
+    cooling = 0.995
+    for _ in range(iterations):
+        if len(order) < 2:
+            break
+        i, j = rng.sample(range(len(order)), 2)
+        order[i], order[j] = order[j], order[i]
+        candidate = cost(order)
+        delta = candidate - current_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+            current_cost = candidate
+            if candidate < best_cost:
+                best_cost = candidate
+                best_order = list(order)
+        else:
+            order[i], order[j] = order[j], order[i]  # undo
+        temperature *= cooling
+
+    plan = Floorplan(
+        blocks=block_map,
+        positions=_shelf_pack(block_list, best_order, max_width),
+    )
+    plan.validate()
+    return plan

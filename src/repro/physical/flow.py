@@ -1,0 +1,117 @@
+"""The end-to-end latency-insensitive physical flow.
+
+Ties the whole library together the way an SoC team would use it:
+
+1. place the blocks (:mod:`repro.physical.floorplan`);
+2. measure every channel's wirelength and insert the relay stations
+   the clock period demands (:mod:`repro.physical.wires`);
+3. analyze the resulting MST degradation (:mod:`repro.core.throughput`);
+4. repair it with queue sizing (:mod:`repro.core.solvers`).
+
+The flow surfaces the paper's central trade-off: a faster clock means
+longer wires *in clock periods*, hence more relay stations, hence --
+on feedback loops -- a lower sustainable throughput; queue sizing
+recovers whatever the doubled graph lost on top of that, but cannot
+recover ideal-MST loss caused by relays on forward loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from ..core.lis_graph import LisGraph
+from ..core.solvers import QsSolution, size_queues
+from ..core.throughput import actual_mst, ideal_mst
+from .floorplan import Block, Floorplan, anneal_placement, total_wirelength
+from .wires import WireModel
+
+__all__ = ["FlowReport", "pipeline_wires", "design_flow"]
+
+
+def pipeline_wires(
+    lis: LisGraph, floorplan: Floorplan, wires: WireModel
+) -> LisGraph:
+    """A copy of ``lis`` with relay stations set from wire lengths.
+
+    Any pre-existing relay counts are replaced: the physical flow owns
+    pipelining decisions.  Channels between unplaced blocks raise
+    ``KeyError``.
+    """
+    out = lis.copy()
+    for channel in out.channels():
+        length = floorplan.wire_length(channel.src, channel.dst)
+        channel.data["relays"] = wires.relays_needed(length)
+    return out
+
+
+@dataclass(frozen=True)
+class FlowReport:
+    """Everything the flow produced, for reporting and assertions."""
+
+    floorplan: Floorplan
+    pipelined: LisGraph
+    wirelength: float
+    relay_stations: int
+    ideal: Fraction
+    degraded: Fraction
+    sizing: QsSolution
+
+    @property
+    def recovered(self) -> Fraction:
+        return self.sizing.achieved
+
+    def summary_rows(self) -> list[list]:
+        width, height = self.floorplan.bounding_box()
+        return [
+            ["die (mm x mm)", f"{width:.2f} x {height:.2f}"],
+            ["total wirelength (mm)", f"{self.wirelength:.2f}"],
+            ["relay stations", self.relay_stations],
+            ["ideal MST", self.ideal],
+            ["MST with q=1 backpressure", self.degraded],
+            ["extra queue tokens", self.sizing.cost],
+            ["MST after queue sizing", self.recovered],
+        ]
+
+
+def design_flow(
+    netlist: LisGraph,
+    blocks: Iterable[Block],
+    wires: WireModel,
+    seed: int | None = 0,
+    anneal_iterations: int = 2000,
+    method: str = "heuristic",
+) -> FlowReport:
+    """Run the full place -> pipeline -> analyze -> size flow.
+
+    Args:
+        netlist: The logical LIS (relay counts are ignored/overwritten).
+        blocks: One :class:`Block` per shell of ``netlist``.
+        wires: The wire delay model (clock period etc.).
+        seed: Annealing seed (placement is deterministic given it).
+        anneal_iterations: Annealing budget.
+        method: Queue-sizing solver passed to
+            :func:`repro.core.solvers.size_queues`.
+    """
+    block_list = list(blocks)
+    shells = set(netlist.shells())
+    named = {b.name for b in block_list}
+    if shells - named:
+        raise ValueError(f"blocks missing for shells: {sorted(map(repr, shells - named))}")
+    plan = anneal_placement(
+        block_list, netlist, seed=seed, iterations=anneal_iterations
+    )
+    pipelined = pipeline_wires(netlist, plan, wires)
+    ideal = ideal_mst(pipelined).mst
+    degraded = actual_mst(pipelined).mst
+    sizing = size_queues(pipelined, method=method)
+    return FlowReport(
+        floorplan=plan,
+        pipelined=pipelined,
+        wirelength=total_wirelength(plan, netlist),
+        relay_stations=pipelined.total_relays(),
+        ideal=ideal,
+        degraded=degraded,
+        sizing=sizing,
+    )

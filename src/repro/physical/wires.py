@@ -1,0 +1,68 @@
+"""Wire delay model: from Manhattan lengths to relay-station counts.
+
+Global interconnect in nanometre technologies does not scale with the
+gates: a wire's flight time grows with its length (linearly, once
+optimally repeated), so a channel whose flight time exceeds the clock
+period must be cut into register-to-register segments -- relay
+stations in latency-insensitive design.  This module implements that
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["manhattan", "WireModel"]
+
+
+def manhattan(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Manhattan (L1) distance between two points."""
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """A linear wire-delay model.
+
+    Attributes:
+        clock_period_ns: Target clock period.
+        delay_ns_per_mm: Flight time per millimetre of (buffered) wire.
+        timing_margin: Fraction of the clock period available to the
+            wire on the source/sink cycles (register setup, clock skew,
+            shell mux delay); 1.0 dedicates the whole period.
+    """
+
+    clock_period_ns: float
+    delay_ns_per_mm: float = 0.15
+    timing_margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_period_ns <= 0:
+            raise ValueError("clock period must be positive")
+        if self.delay_ns_per_mm <= 0:
+            raise ValueError("wire delay density must be positive")
+        if not 0 < self.timing_margin <= 1:
+            raise ValueError("timing margin must be in (0, 1]")
+
+    @property
+    def reach_mm(self) -> float:
+        """Longest wire a single clock period can cross."""
+        return self.clock_period_ns * self.timing_margin / self.delay_ns_per_mm
+
+    def flight_time_ns(self, length_mm: float) -> float:
+        return length_mm * self.delay_ns_per_mm
+
+    def relays_needed(self, length_mm: float) -> int:
+        """Relay stations required on a wire of the given length.
+
+        A wire is legal when each segment's flight time fits in the
+        (margined) clock period: ``ceil(length / reach) - 1`` stations.
+        Zero-length wires (abutted blocks) need none.
+        """
+        if length_mm < 0:
+            raise ValueError("negative wire length")
+        if length_mm == 0:
+            return 0
+        segments = math.ceil(length_mm / self.reach_mm - 1e-12)
+        return max(0, segments - 1)

@@ -1,0 +1,39 @@
+"""The COFDM UWB transmitter SoC case study (paper, Section IX)."""
+
+from .cofdm import (
+    BLOCKS,
+    CHANNELS,
+    FIG19_DEGRADED_MST,
+    FIG19_IDEAL_MST,
+    FIG19_OPTIMAL_FIX,
+    FIG19_RELAY_CHANNELS,
+    PAPER_REPORTED,
+    channel_id,
+    cofdm_transmitter,
+    fig19_scenario,
+)
+from .exhaustive import (
+    ExhaustiveReport,
+    PlacementResult,
+    run_exhaustive_insertion,
+)
+from .scenarios import ScenarioAnalysis, analyze_scenario, worst_placements
+
+__all__ = [
+    "BLOCKS",
+    "CHANNELS",
+    "FIG19_DEGRADED_MST",
+    "FIG19_IDEAL_MST",
+    "FIG19_OPTIMAL_FIX",
+    "FIG19_RELAY_CHANNELS",
+    "PAPER_REPORTED",
+    "channel_id",
+    "cofdm_transmitter",
+    "fig19_scenario",
+    "ExhaustiveReport",
+    "PlacementResult",
+    "run_exhaustive_insertion",
+    "ScenarioAnalysis",
+    "analyze_scenario",
+    "worst_placements",
+]

@@ -1,0 +1,84 @@
+"""Scenario utilities for the COFDM case study.
+
+Builders and report helpers around Section IX: arbitrary relay-station
+placements by block names, ranking of the most damaging placements
+from an exhaustive sweep, and the per-scenario analysis bundle
+(ideal/degraded MST, Table-VI-style cycle list, queue-sizing fix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from ..core.cycles import CycleRecord, deficient_cycles
+from ..core.solvers import QsSolution, size_queues
+from ..core.throughput import actual_mst, ideal_mst
+from .cofdm import channel_id, cofdm_transmitter
+from .exhaustive import ExhaustiveReport, PlacementResult
+
+__all__ = ["ScenarioAnalysis", "analyze_scenario", "worst_placements"]
+
+
+@dataclass(frozen=True)
+class ScenarioAnalysis:
+    """Everything Section IX reports about one placement."""
+
+    placements: tuple[tuple[str, str], ...]
+    ideal: Fraction
+    degraded: Fraction
+    cycles: tuple[CycleRecord, ...]
+    fix: QsSolution
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded < self.ideal
+
+    def cycle_rows(self) -> list[list]:
+        """Table-VI-style rows: block sequence + cycle mean."""
+        rows = []
+        for record in self.cycles:
+            blocks = [n for n in record.node_path if not isinstance(n, tuple)]
+            rows.append([" -> ".join(map(str, blocks)), float(record.mean)])
+        return rows
+
+
+def analyze_scenario(
+    relay_channels: Iterable[tuple[str, str]],
+    queue: int = 1,
+    method: str = "exact",
+) -> ScenarioAnalysis:
+    """Insert one relay station on each named channel and analyze.
+
+    ``relay_channels`` are ``(src, dst)`` block-name pairs; repeating a
+    pair inserts multiple stations on that channel.
+    """
+    placements = tuple(relay_channels)
+    lis = cofdm_transmitter(queue=queue)
+    for src, dst in placements:
+        lis.insert_relay(channel_id(lis, src, dst))
+    ideal = ideal_mst(lis).mst
+    degraded = actual_mst(lis).mst
+    cycles = tuple(
+        deficient_cycles(lis.doubled_marked_graph(), ideal)
+    )
+    fix = size_queues(lis, method=method)
+    return ScenarioAnalysis(
+        placements=placements,
+        ideal=ideal,
+        degraded=degraded,
+        cycles=cycles,
+        fix=fix,
+    )
+
+
+def worst_placements(
+    report: ExhaustiveReport, count: int = 5
+) -> list[PlacementResult]:
+    """The placements with the largest relative throughput loss."""
+
+    def loss(p: PlacementResult) -> Fraction:
+        return (p.ideal - p.actual) / p.ideal
+
+    return sorted(report.degraded, key=loss, reverse=True)[:count]

@@ -1,0 +1,75 @@
+"""Tests for the joint relay-insertion + queue-sizing optimizer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import actual_mst, combined_repair, ideal_mst
+from repro.core.relay_opt import apply_insertion
+from repro.gen import fig1_lis, fig15_lis, ring_lis
+
+
+def test_fig1_default_costs_prefer_queue_token():
+    """One queue slot (1 register) beats one relay station (2)."""
+    solution = combined_repair(fig1_lis(), max_added_relays=1)
+    assert solution.added_relays == {}
+    assert solution.sizing.extra_tokens == {1: 1}
+    assert solution.register_cost == 1
+    assert solution.achieved == 1
+
+
+def test_fig1_cheap_relays_prefer_insertion():
+    solution = combined_repair(
+        fig1_lis(), max_added_relays=1, relay_register_cost=Fraction(1, 2)
+    )
+    assert solution.added_relays == {1: 1}
+    assert solution.sizing.cost == 0
+    assert solution.register_cost == Fraction(1, 2)
+
+
+def test_fig15_insertion_never_chosen():
+    """Every insertion forfeits the 5/6 target, so the best mixed
+    repair is pure queue sizing (Section VI's counterexample)."""
+    solution = combined_repair(fig15_lis(), max_added_relays=2)
+    assert solution.added_relays == {}
+    assert solution.sizing.cost == 2
+    assert solution.achieved == Fraction(5, 6)
+    assert solution.evaluated > 30  # the budget was actually searched
+
+
+def test_combined_repair_verifies_end_to_end():
+    lis = fig1_lis()
+    solution = combined_repair(lis, max_added_relays=1)
+    repaired = apply_insertion(lis, solution.added_relays)
+    assert (
+        actual_mst(repaired, solution.sizing.extra_tokens).mst
+        == ideal_mst(lis).mst
+    )
+
+
+def test_healthy_system_costs_nothing():
+    solution = combined_repair(ring_lis(4), max_added_relays=1)
+    assert solution.register_cost == 0
+    assert solution.added_relays == {}
+    assert solution.sizing.cost == 0
+
+
+def test_zero_budget_equals_pure_queue_sizing():
+    from repro.core import size_queues
+
+    solution = combined_repair(fig15_lis(), max_added_relays=0)
+    pure = size_queues(fig15_lis(), method="exact")
+    assert solution.sizing.cost == pure.cost
+    assert solution.total_relays_added == 0
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        combined_repair(fig1_lis(), max_added_relays=-1)
+
+
+def test_unreachable_target_raises():
+    # No repair can push the MST of a relayed ring above its ideal.
+    lis = ring_lis(3, relays=1)  # ideal 3/4
+    with pytest.raises(ValueError):
+        combined_repair(lis, max_added_relays=1, target=Fraction(9, 10))

@@ -1,0 +1,222 @@
+"""Unit and property tests for the marked-graph engine."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MarkedGraph, MarkingError
+from repro.graphs import elementary_edge_cycles
+
+
+def ring_mg(tokens_per_place):
+    mg = MarkedGraph()
+    n = len(tokens_per_place)
+    keys = []
+    for i, tokens in enumerate(tokens_per_place):
+        keys.append(mg.add_place(i, (i + 1) % n, tokens=tokens))
+    return mg, keys
+
+
+def test_add_place_rejects_negative_tokens():
+    mg = MarkedGraph()
+    with pytest.raises(MarkingError):
+        mg.add_place("a", "b", tokens=-1)
+
+
+def test_enabled_requires_all_inputs():
+    mg = MarkedGraph()
+    mg.add_place("a", "c", tokens=1)
+    mg.add_place("b", "c", tokens=0)
+    assert not mg.is_enabled("c")
+    # Sources (no input places) are always enabled.
+    assert mg.is_enabled("a") and mg.is_enabled("b")
+
+
+def test_fire_moves_tokens():
+    mg = MarkedGraph()
+    p_in = mg.add_place("a", "b", tokens=1)
+    p_out = mg.add_place("b", "c", tokens=0)
+    mg.fire("b")
+    assert mg.tokens(p_in) == 0
+    assert mg.tokens(p_out) == 1
+
+
+def test_fire_disabled_raises():
+    mg = MarkedGraph()
+    mg.add_place("a", "b", tokens=0)
+    with pytest.raises(MarkingError):
+        mg.fire("b")
+
+
+def test_step_fires_all_enabled_concurrently():
+    # Ring 1-0-1: transitions 0 and 2 are enabled (inputs from places 2
+    # and 1 respectively). After one synchronous step the marking rotates.
+    mg, keys = ring_mg([1, 0, 1])
+    fired = mg.step()
+    assert fired == {1, 0}  # t1 consumes place 0->1; t0 consumes place 2->0
+    assert [mg.tokens(k) for k in keys] == [1, 1, 0]
+
+
+def test_step_semantics_uses_start_of_step_marking():
+    # a -> b chain with one token: only b's upstream provides at t0; b
+    # must not fire twice in a single step even though a refills it.
+    mg = MarkedGraph()
+    p1 = mg.add_place("a", "b", tokens=1)
+    mg.add_place("b", "a", tokens=0)
+    fired = mg.step()
+    assert fired == {"b"}
+    assert mg.tokens(p1) == 0
+
+
+def test_run_returns_each_step():
+    mg, _ = ring_mg([1, 1, 1])
+    history = mg.run(3)
+    assert len(history) == 3
+    for fired in history:
+        assert fired == {0, 1, 2}  # fully marked ring fires every step
+
+
+def test_tokens_setters():
+    mg = MarkedGraph()
+    key = mg.add_place("a", "b", tokens=1)
+    mg.set_tokens(key, 5)
+    assert mg.tokens(key) == 5
+    mg.add_tokens(key, -2)
+    assert mg.tokens(key) == 3
+    with pytest.raises(MarkingError):
+        mg.set_tokens(key, -1)
+
+
+def test_marking_roundtrip():
+    mg, keys = ring_mg([2, 0, 1])
+    saved = mg.marking()
+    mg.run(5)
+    assert mg.marking() != saved or True  # marking may coincide; restore:
+    mg.set_marking(saved)
+    assert mg.marking() == saved
+
+
+def test_total_tokens_preserved_on_ring():
+    mg, _ = ring_mg([1, 0, 1])
+    before = mg.total_tokens()
+    mg.run(10)
+    assert mg.total_tokens() == before
+
+
+def test_liveness():
+    live, _ = ring_mg([1, 0, 0])
+    dead, _ = ring_mg([0, 0, 0])
+    assert live.is_live()
+    assert not dead.is_live()
+    assert dead.is_deadlocked()
+    assert not live.is_deadlocked()
+
+
+def test_acyclic_graph_is_live():
+    mg = MarkedGraph()
+    mg.add_place("a", "b", tokens=0)
+    assert mg.is_live()
+
+
+def test_cycle_mean_and_token_count():
+    mg, keys = ring_mg([1, 0, 1])
+    assert mg.cycle_token_count(keys) == 2
+    assert mg.cycle_mean(keys) == Fraction(2, 3)
+    with pytest.raises(MarkingError):
+        mg.cycle_mean([])
+
+
+def test_measure_firing_rate_on_ring():
+    mg, _ = ring_mg([1, 0, 1])  # MST = 2/3
+    rate = mg.measure_firing_rate(0, steps=300, warmup=30)
+    assert abs(rate - Fraction(2, 3)) < Fraction(1, 50)
+
+
+def test_measure_firing_rate_requires_positive_steps():
+    mg, _ = ring_mg([1])
+    with pytest.raises(MarkingError):
+        mg.measure_firing_rate(0, steps=0)
+
+
+def test_copy_is_independent():
+    mg, keys = ring_mg([1, 0, 1])
+    clone = mg.copy()
+    clone.step()
+    assert mg.marking() != clone.marking()
+
+
+@st.composite
+def random_marked_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    m = draw(st.integers(min_value=1, max_value=12))
+    mg = MarkedGraph()
+    for i in range(n):
+        mg.add_transition(i)
+    for _ in range(m):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        mg.add_place(src, dst, tokens=draw(st.integers(min_value=0, max_value=2)))
+    return mg
+
+
+@given(random_marked_graphs(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=60)
+def test_cycle_tokens_invariant_under_steps(mg, steps):
+    """The fundamental invariant: firing preserves cycle token counts."""
+    cycles = [
+        [e.key for e in cyc] for cyc in elementary_edge_cycles(mg.graph)
+    ]
+    before = [mg.cycle_token_count(c) for c in cycles]
+    mg.run(steps)
+    after = [mg.cycle_token_count(c) for c in cycles]
+    assert before == after
+
+
+@given(random_marked_graphs())
+@settings(max_examples=60)
+def test_single_fire_matches_step_for_isolated_enabled_transition(mg):
+    """Interleaved firing of each enabled transition once == one step."""
+    clone = mg.copy()
+    fired = sorted(map(repr, mg.step()))
+    enabled = sorted(map(repr, clone.enabled_transitions()))
+    assert fired == enabled
+
+
+@st.composite
+def live_strongly_connected_mgs(draw):
+    """A ring plus chords, every place holding >= 1 token: strongly
+    connected and live by construction."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    mg = MarkedGraph()
+    for i in range(n):
+        mg.add_place(i, (i + 1) % n, tokens=draw(st.integers(1, 2)))
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        mg.add_place(src, dst, tokens=draw(st.integers(1, 2)))
+    return mg
+
+
+@given(live_strongly_connected_mgs())
+@settings(max_examples=40, deadline=None)
+def test_strongly_connected_live_graph_returns_to_initial_marking(mg):
+    """Classical recurrence: under step semantics the marking sequence
+    of a live strongly connected marked graph is periodic, and over one
+    period every transition fires the same number of times."""
+    initial = mg.marking()
+    seen = {tuple(sorted(initial.items())): 0}
+    counts = {t: 0 for t in mg.transitions}
+    period = None
+    for step in range(1, 200):
+        for t in mg.step():
+            counts[t] += 1
+        state = tuple(sorted(mg.marking().items()))
+        if state == tuple(sorted(initial.items())):
+            period = step
+            break
+    assert period is not None, "no recurrence within 200 steps"
+    fired = set(counts.values())
+    assert len(fired) == 1  # equal firing counts around the period
+    assert fired.pop() >= 1

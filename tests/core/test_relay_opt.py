@@ -1,0 +1,103 @@
+"""Tests for relay-station insertion optimization (Section VI)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import LisGraph, actual_mst, ideal_mst
+from repro.core.relay_opt import (
+    apply_insertion,
+    equalization_slacks,
+    exhaustive_relay_search,
+    relay_insertion_can_restore,
+)
+from repro.gen import fig1_lis, fig15_lis, ring_lis
+
+
+def test_equalization_on_fig1_adds_relay_to_lower_channel():
+    slacks = equalization_slacks(fig1_lis())
+    assert slacks == {1: 1}  # the lower channel gets one relay station
+
+
+def test_equalization_restores_mst_on_fig1():
+    lis = fig1_lis()
+    balanced = apply_insertion(lis, equalization_slacks(lis))
+    assert actual_mst(balanced).mst == 1
+
+
+def test_equalization_balanced_system_needs_nothing():
+    lis = LisGraph()
+    lis.add_channel("A", "B", relays=1)
+    lis.add_channel("A", "B", relays=1)
+    assert equalization_slacks(lis) == {}
+
+
+def test_equalization_three_way_diamond():
+    lis = LisGraph.from_edges(
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    )
+    lis.insert_relay(0, 2)  # long a->b branch
+    slacks = equalization_slacks(lis)
+    balanced = apply_insertion(lis, slacks)
+    # Longest path a->b->d is 4 cycles; a->c->d must match.
+    assert sum(slacks.values()) == 2
+    assert actual_mst(balanced).mst == 1
+
+
+def test_equalization_rejects_cyclic_systems():
+    with pytest.raises(ValueError):
+        equalization_slacks(ring_lis(3))
+
+
+def test_apply_insertion_copies():
+    lis = fig1_lis()
+    modified = apply_insertion(lis, {1: 2})
+    assert lis.relays(1) == 0
+    assert modified.relays(1) == 2
+
+
+def test_exhaustive_search_finds_fig2_right():
+    result = exhaustive_relay_search(fig1_lis(), max_added=1)
+    assert result.added == {1: 1}
+    assert result.actual == 1
+    assert result.ideal == 1
+    assert result.evaluated >= 3  # empty + two channels
+
+
+def test_exhaustive_search_zero_budget_is_identity():
+    result = exhaustive_relay_search(fig1_lis(), max_added=0)
+    assert result.added == {}
+    assert result.actual == Fraction(2, 3)
+
+
+def test_fig15_counterexample_certified():
+    """Section VI's headline: no insertion recovers Fig. 15's 5/6."""
+    lis = fig15_lis()
+    for budget in (1, 2):
+        ok, result = relay_insertion_can_restore(lis, max_added=budget)
+        assert not ok
+        assert result.actual < Fraction(5, 6)
+    # Queue sizing, by contrast, succeeds (cross-check).
+    assert actual_mst(lis, {5: 1, 6: 1}).mst == Fraction(5, 6)
+
+
+def test_fig15_every_single_insertion_hurts_ideal():
+    lis = fig15_lis()
+    for cid in lis.channel_ids():
+        trial = apply_insertion(lis, {cid: 1})
+        assert ideal_mst(trial).mst < Fraction(5, 6)
+
+
+def test_fig1_restoration_certified():
+    ok, result = relay_insertion_can_restore(fig1_lis(), max_added=1)
+    assert ok
+    assert result.added == {1: 1}
+
+
+def test_search_ignores_ideal_lowering_assignments():
+    """On a ring, every insertion lowers the ideal MST; with
+    preserve_ideal the search must return the empty assignment."""
+    lis = ring_lis(4)
+    result = exhaustive_relay_search(lis, max_added=2)
+    assert result.added == {}
+    assert result.ideal == 1

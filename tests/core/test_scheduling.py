@@ -1,0 +1,158 @@
+"""Tests for static scheduling and simulation-driven queue sizing."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LisGraph, actual_mst, ideal_mst
+from repro.core.marked_graph import MarkedGraph
+from repro.core.scheduling import (
+    Schedule,
+    ScheduleError,
+    periodic_schedule,
+    schedule_lis,
+    simulation_driven_sizing,
+)
+from repro.gen import fig1_lis, fig15_lis, ring_lis, uplink_downlink_lis
+
+
+def test_periodic_schedule_of_simple_ring():
+    mg = MarkedGraph()
+    for i in range(3):
+        mg.add_place(i, (i + 1) % 3, tokens=1 if i != 1 else 0)
+    schedule = periodic_schedule(mg)  # ring with mean 2/3
+    assert schedule.rate(0) == Fraction(2, 3)
+    assert schedule.rate(1) == Fraction(2, 3)
+    assert schedule.hyperperiod >= 1
+
+
+def test_schedule_of_deadlocked_system_raises():
+    mg = MarkedGraph()
+    mg.add_place("a", "b", tokens=0)
+    mg.add_place("b", "a", tokens=0)
+    with pytest.raises(ScheduleError):
+        periodic_schedule(mg)
+
+
+def test_schedule_budget_exhaustion_raises():
+    """Unbounded accumulation (fast SCC feeding slow) never repeats."""
+    lis = uplink_downlink_lis()
+    with pytest.raises(ScheduleError):
+        schedule_lis(lis, practical=False, max_steps=200)
+
+
+def test_practical_schedule_rate_equals_practical_mst():
+    for lis in (fig1_lis(), fig15_lis(), ring_lis(4, relays=2)):
+        schedule = schedule_lis(lis, practical=True)
+        expected = actual_mst(lis).mst
+        probe = lis.shells()[0]
+        assert schedule.rate(probe) == expected
+
+
+def test_ideal_schedule_rate_equals_ideal_mst():
+    lis = fig15_lis()
+    schedule = schedule_lis(lis, practical=False)
+    assert schedule.rate("A") == ideal_mst(lis).mst == Fraction(5, 6)
+
+
+def test_schedule_matches_simulator_firings():
+    """The schedule replays exactly the simulator's firing pattern."""
+    from repro.lis import TraceSimulator
+
+    lis = fig1_lis()
+    schedule = schedule_lis(lis, practical=True)
+    sim = TraceSimulator(lis)
+    sim.run(30)
+    for shell in ("A", "B"):
+        assert schedule.firing_plan(shell, 30) == sim.trace.fired[shell]
+
+
+def test_firing_plan_wraps_period():
+    schedule = Schedule(
+        prefix=(frozenset({"x"}),),
+        period=(frozenset(), frozenset({"x"})),
+        peak_tokens={},
+    )
+    assert schedule.firing_plan("x", 6) == [
+        True,  # prefix
+        False,
+        True,
+        False,
+        True,
+        False,
+    ]
+    assert schedule.firings_in_period("x") == 1
+    assert schedule.rate("x") == Fraction(1, 2)
+
+
+def test_rate_of_empty_period_raises():
+    schedule = Schedule(prefix=(), period=(), peak_tokens={})
+    with pytest.raises(ScheduleError):
+        schedule.rate("x")
+
+
+def test_simulation_driven_sizing_restores_fig1():
+    lis = fig1_lis()
+    sizes = simulation_driven_sizing(lis)
+    sized = lis.copy()
+    for cid, q in sizes.items():
+        sized.set_queue(cid, q)
+    assert actual_mst(sized).mst == ideal_mst(lis).mst == 1
+    # The lower channel needs the extra slot; the upper does not.
+    assert sizes[1] == 2
+    assert sizes[0] == 1
+
+
+def test_simulation_driven_sizing_restores_fig15():
+    lis = fig15_lis()
+    sizes = simulation_driven_sizing(lis)
+    sized = lis.copy()
+    for cid, q in sizes.items():
+        sized.set_queue(cid, q)
+    assert actual_mst(sized).mst == Fraction(5, 6)
+
+
+def test_simulation_driven_sizing_cost_vs_analytic():
+    """The simulation-driven sizes are valid but not cheaper than the
+    exact token-deficit solution."""
+    from repro.core import size_queues
+
+    lis = fig15_lis()
+    sizes = simulation_driven_sizing(lis)
+    empirical_extra = sum(q - lis.queue(cid) for cid, q in sizes.items())
+    exact = size_queues(lis, method="exact")
+    assert empirical_extra >= exact.cost
+
+
+def test_simulation_driven_sizing_unbounded_raises():
+    with pytest.raises(ScheduleError):
+        simulation_driven_sizing(uplink_downlink_lis(), max_steps=200)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=5),
+    relays=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_scheduled_rate_matches_mst_on_rings(n, relays):
+    lis = ring_lis(n, relays)
+    schedule = schedule_lis(lis, practical=True)
+    assert schedule.rate("s0") == actual_mst(lis).mst
+
+
+@given(
+    upper=st.integers(min_value=0, max_value=3),
+    lower=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_simulation_driven_sizing_always_restores_two_path(upper, lower):
+    lis = LisGraph()
+    lis.add_channel("A", "B", relays=upper)
+    lis.add_channel("A", "B", relays=lower)
+    sizes = simulation_driven_sizing(lis)
+    sized = lis.copy()
+    for cid, q in sizes.items():
+        sized.set_queue(cid, q)
+    assert actual_mst(sized).mst == ideal_mst(lis).mst

@@ -1,0 +1,129 @@
+"""Tests for pipelining slack and the full analysis report."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    AnalysisReport,
+    TopologyClass,
+    analyze,
+    channel_slack,
+    ideal_mst,
+    pipelining_slack,
+)
+from repro.core.lis_graph import LisGraph
+from repro.gen import fig1_lis, fig15_lis, ring_lis, tree_lis
+
+
+def test_slack_unlimited_off_cycles():
+    lis = fig1_lis()  # acyclic system graph
+    slack = pipelining_slack(lis)
+    assert slack == {0: None, 1: None}
+    assert channel_slack(lis, 0) is None
+
+
+def test_slack_on_plain_ring():
+    """A 6-ring at target 1/2 tolerates 6 extra places per channel."""
+    lis = ring_lis(6)
+    slack = pipelining_slack(lis, target=Fraction(1, 2))
+    assert all(v == 6 for v in slack.values())
+    # At target 1 every channel is tight.
+    tight = pipelining_slack(lis, target=Fraction(1))
+    assert all(v == 0 for v in tight.values())
+
+
+def test_slack_prices_in_existing_relays():
+    lis = ring_lis(6, relays=2)  # mean 6/8 = 3/4
+    slack = pipelining_slack(lis, target=Fraction(3, 4))
+    assert all(v == 0 for v in slack.values())
+    relaxed = pipelining_slack(lis, target=Fraction(1, 2))
+    assert all(v == 4 for v in relaxed.values())  # 6/0.5 - 8
+
+
+def test_slack_respected_by_insertion():
+    """Using exactly the slack keeps the ideal MST; +1 drops it."""
+    lis = ring_lis(5)
+    target = Fraction(5, 8)
+    slack = pipelining_slack(lis, target=target)
+    budget = slack[0]
+    assert budget == 3
+    trial = lis.copy()
+    trial.insert_relay(0, budget)
+    assert ideal_mst(trial).mst >= target
+    trial.insert_relay(0, 1)
+    assert ideal_mst(trial).mst < target
+
+
+def test_slack_minimum_over_cycles():
+    # A channel shared by a tight cycle and a loose one gets the tight
+    # cycle's budget.
+    lis = LisGraph.from_edges(
+        [("a", "b"), ("b", "a"), ("b", "c"), ("c", "a")]
+    )
+    lis.insert_relay(0)  # a->b now has a relay: 2-cycle mean 2/3
+    slack = pipelining_slack(lis, target=Fraction(1, 2))
+    # Channel 0 on cycles {a,b} (2 tokens, 3 places: budget 1) and
+    # {a,b,c} (3 tokens, 4 places: budget 2): min is 1.
+    assert slack[0] == 1
+    assert slack[1] == 1
+    assert slack[2] == 2  # only on the 3-cycle
+    assert slack[3] == 2
+
+
+def test_slack_validates_target():
+    with pytest.raises(ValueError):
+        pipelining_slack(ring_lis(3), target=Fraction(2))
+    with pytest.raises(KeyError):
+        channel_slack(ring_lis(3), 999)
+
+
+def test_slack_with_core_latency():
+    lis = LisGraph()
+    lis.add_shell("m", latency=3)
+    lis.add_shell("n")
+    lis.add_channel("m", "n")
+    lis.add_channel("n", "m")
+    # Cycle: 2 tokens, 4 places (2 hops + 2 stages); at 1/3: budget 2.
+    slack = pipelining_slack(lis, target=Fraction(1, 3))
+    assert slack == {0: 2, 1: 2}
+
+
+def test_analyze_report_fields_fig15():
+    lis = fig15_lis()
+    report = analyze(lis, method="exact")
+    assert isinstance(report, AnalysisReport)
+    assert report.degraded
+    assert report.topology is TopologyClass.NETWORK_OF_SCCS
+    assert report.ideal == Fraction(5, 6)
+    assert report.practical == Fraction(3, 4)
+    assert report.bottlenecks == {0, 5, 6}
+    assert report.fix.cost == 2
+    assert report.critical_path is not None
+    text = report.render(lis)
+    assert "BOTTLENECK" in text
+    assert "Recommended queue sizing" in text
+    assert "+1" in text
+
+
+def test_analyze_report_healthy_system():
+    lis = tree_lis(depth=2, relays_per_channel=2)
+    report = analyze(lis)
+    assert not report.degraded
+    assert report.fix is None
+    assert report.bottlenecks == frozenset()
+    text = report.render(lis)
+    assert "Recommended" not in text
+    assert "slack=inf" in text
+
+
+def test_cli_analyze_full(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "sys.json"
+    main(["example", "fig15", "-o", str(path)])
+    capsys.readouterr()
+    assert main(["analyze", str(path), "--full"]) == 0
+    out = capsys.readouterr().out
+    assert "BOTTLENECK" in out
+    assert "practical MST: 3/4" in out

@@ -1,0 +1,167 @@
+"""Tests for topology classification (Section IV / Table II)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LisGraph,
+    RelayPlacement,
+    TopologyClass,
+    actual_mst,
+    classify_topology,
+    conservative_fixed_queue,
+    fixed_q1_is_safe,
+    has_reconvergent_paths,
+    ideal_mst,
+    relay_placement,
+)
+from repro.core.topology import is_directed_cycle_component
+from repro.gen import fig1_lis, fig15_lis, ring_lis, tree_lis
+
+
+def test_tree_classification():
+    lis = tree_lis(depth=2)
+    assert classify_topology(lis) is TopologyClass.TREE
+    assert not has_reconvergent_paths(lis.system)
+    assert fixed_q1_is_safe(lis)
+
+
+def test_chain_is_tree_class():
+    lis = LisGraph.from_edges([("a", "b"), ("b", "c")])
+    assert classify_topology(lis) is TopologyClass.TREE
+
+
+def test_single_ring_is_scc_no_reconvergent():
+    lis = ring_lis(4)
+    assert classify_topology(lis) is TopologyClass.SCC_NO_RECONVERGENT
+    assert fixed_q1_is_safe(lis)
+
+
+def test_figure_eight_rings_share_articulation_point():
+    """Two rings joined at one shell: still no reconvergent paths."""
+    lis = LisGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "a"), ("a", "d"), ("d", "e"), ("e", "a")]
+    )
+    assert classify_topology(lis) is TopologyClass.SCC_NO_RECONVERGENT
+
+
+def test_parallel_channels_are_reconvergent():
+    """Fig. 1's two A->B channels reconverge at B."""
+    lis = fig1_lis()
+    assert has_reconvergent_paths(lis.system)
+    assert classify_topology(lis) is TopologyClass.NETWORK_OF_SCCS
+    assert not fixed_q1_is_safe(lis)
+
+
+def test_diamond_dag_is_reconvergent():
+    lis = LisGraph.from_edges(
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    )
+    assert classify_topology(lis) is TopologyClass.NETWORK_OF_SCCS
+
+
+def test_fig15_is_general_topology():
+    assert classify_topology(fig15_lis()) is TopologyClass.NETWORK_OF_SCCS
+
+
+def test_chorded_ring_is_reconvergent():
+    lis = LisGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a"), ("b", "d")]
+    )
+    assert classify_topology(lis) is TopologyClass.NETWORK_OF_SCCS
+
+
+def test_is_directed_cycle_component():
+    from repro.graphs import Digraph, biconnected_components
+
+    ring = Digraph()
+    for i in range(3):
+        ring.add_edge(i, (i + 1) % 3)
+    (comp,) = biconnected_components(ring)
+    assert is_directed_cycle_component(comp)
+
+    undirected_cycle = Digraph()
+    undirected_cycle.add_edge("a", "b")
+    undirected_cycle.add_edge("a", "b")
+    (comp2,) = biconnected_components(undirected_cycle)
+    assert not is_directed_cycle_component(comp2)
+    assert not is_directed_cycle_component([])
+
+
+def test_relay_placement_classes():
+    none = ring_lis(3)
+    assert relay_placement(none) is RelayPlacement.NONE
+
+    intra = ring_lis(3, relays=1)
+    assert relay_placement(intra) is RelayPlacement.INTRA_SCC
+
+    inter = LisGraph()
+    inter.add_channel("a", "b", relays=1)
+    assert relay_placement(inter) is RelayPlacement.INTER_SCC
+
+    mixed = ring_lis(3, relays=1)
+    mixed.add_channel("s0", "x", relays=1)
+    assert relay_placement(mixed) is RelayPlacement.MIXED
+
+
+def test_conservative_fixed_queue():
+    lis = fig1_lis()
+    assert conservative_fixed_queue(lis) == 2  # one relay station
+    lis.insert_relay(0, 3)
+    assert conservative_fixed_queue(lis) == 5
+
+
+def test_safe_classes_really_are_safe_with_q1():
+    """Section IV's theorem, checked by full analysis on instances of
+    both safe classes with relay stations everywhere."""
+    tree = tree_lis(depth=2, fanout=2, relays_per_channel=2)
+    assert actual_mst(tree).mst == ideal_mst(tree).mst == 1
+
+    # Figure-eight SCC (no reconvergent paths) with relays on channels
+    # *inside* the cycles.
+    lis = LisGraph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "a"), ("a", "d"), ("d", "e"), ("e", "a")]
+    )
+    lis.insert_relay(0)  # inside first ring
+    lis.insert_relay(4)  # inside second ring
+    assert classify_topology(lis) is TopologyClass.SCC_NO_RECONVERGENT
+    assert actual_mst(lis).mst == ideal_mst(lis).mst
+
+
+@given(
+    depth=st.integers(min_value=1, max_value=3),
+    fanout=st.integers(min_value=1, max_value=3),
+    relays=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_trees_never_degrade(depth, fanout, relays):
+    lis = tree_lis(depth=depth, fanout=fanout, relays_per_channel=relays)
+    assert classify_topology(lis) is TopologyClass.TREE
+    assert actual_mst(lis).mst == 1
+
+
+@given(
+    rings=st.lists(
+        st.tuples(
+            st.integers(min_value=2, max_value=4),  # ring size
+            st.integers(min_value=0, max_value=2),  # relays inside
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_rosette_of_rings_never_degrades_with_q1(rings):
+    """Rings sharing one hub shell: the hub is an articulation point,
+    the topology has no reconvergent paths, and q=1 keeps ideal MST."""
+    lis = LisGraph()
+    lis.add_shell("hub")
+    for r, (size, relays) in enumerate(rings):
+        prev = "hub"
+        for i in range(size - 1):
+            node = f"r{r}n{i}"
+            lis.add_channel(prev, node)
+            prev = node
+        lis.add_channel(prev, "hub", relays=relays)
+    assert classify_topology(lis) is TopologyClass.SCC_NO_RECONVERGENT
+    assert actual_mst(lis).mst == ideal_mst(lis).mst

@@ -1,0 +1,66 @@
+"""Tests for the Section VIII experiment runners (small trial counts)."""
+
+from repro.experiments import (
+    Table4Row,
+    fig16_mst_degradation,
+    fig17_fixed_queue_recovery,
+    table4_exact_vs_heuristic,
+)
+
+
+def test_fig16_series_structure():
+    series = fig16_mst_degradation(
+        rs_values=[4, 8], queues=[1, 5], trials=3
+    )
+    assert set(series) == {
+        (policy, label)
+        for policy in ("scc", "any")
+        for label in ("inf", "1", "5")
+    }
+    for values in series.values():
+        assert len(values) == 2
+        assert all(0 < v <= 1 for v in values)
+    # scc ideal is pinned at 1.0.
+    assert series[("scc", "inf")] == [1.0, 1.0]
+    # finite queues bound the ideal from below.
+    for policy in ("scc", "any"):
+        for i in range(2):
+            assert series[(policy, "1")][i] <= series[(policy, "inf")][i] + 1e-12
+
+
+def test_fig16_deterministic_for_seed_base():
+    a = fig16_mst_degradation([6], [1], trials=2, seed_base=5)
+    b = fig16_mst_degradation([6], [1], trials=2, seed_base=5)
+    assert a == b
+
+
+def test_fig17_ratios_monotone():
+    ratios = fig17_fixed_queue_recovery([1, 2, 4, 8], trials=3)
+    values = [ratios[q] for q in (1, 2, 4, 8)]
+    assert values == sorted(values)
+    assert values[-1] <= 1.0 + 1e-12
+
+
+def test_table4_rows_and_accounting():
+    rows = table4_exact_vs_heuristic(
+        configs=[(30, 3, 1)], trials=3, rs=4, exact_timeout=20
+    )
+    (row,) = rows
+    assert isinstance(row, Table4Row)
+    assert row.v == 30 and row.s == 3
+    finished = len(row.exact_solutions)
+    unfinished = len(row.heuristic_solutions_unfinished)
+    assert finished + unfinished == 3
+    assert 0 <= row.percent_exact_finished <= 1
+    table_row = row.as_table_row()
+    assert len(table_row) == len(Table4Row.HEADERS)
+    # Heuristic never beats exact on the finished trials.
+    for exact, heuristic in zip(
+        row.exact_solutions, row.heuristic_solutions_finished
+    ):
+        assert heuristic >= exact
+
+
+def test_table4_percent_with_no_trials():
+    row = Table4Row(v=1, s=1, c=1, rs=0)
+    assert row.percent_exact_finished == 1.0

@@ -1,0 +1,66 @@
+"""Tests for table rendering and result persistence."""
+
+from fractions import Fraction
+
+from repro.experiments import format_cell, render_table, save_result
+from repro.experiments.tables import results_dir
+
+
+def test_format_cell_variants():
+    assert format_cell(Fraction(2, 3)) == "0.667"
+    assert format_cell(0.12345) == "0.123"
+    assert format_cell(None) == "-"
+    assert format_cell(42) == "42"
+    assert format_cell("txt") == "txt"
+
+
+def test_render_table_alignment():
+    text = render_table(
+        ["name", "value"],
+        [["a", 1], ["longer", 22]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[1] == "=" * 1
+    header = lines[2]
+    assert header.startswith("name")
+    assert "value" in header
+    # All rows have equal rendered width per column (separator row).
+    sep = lines[3]
+    assert set(sep) <= {"-", " "}
+    assert "longer" in lines[5]
+
+
+def test_render_table_without_title():
+    text = render_table(["h"], [[1]])
+    assert text.splitlines()[0] == "h"
+
+
+def test_results_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "out"))
+    path = results_dir()
+    assert path == tmp_path / "out"
+    assert path.is_dir()
+
+
+def test_save_result_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    saved = save_result("unit_test_artifact", "hello\nworld")
+    assert saved.read_text() == "hello\nworld\n"
+    assert saved.name == "unit_test_artifact.txt"
+
+
+def test_config_env_knobs(monkeypatch):
+    from repro.experiments import cofdm_limit, exact_timeout, trials
+
+    monkeypatch.setenv("REPRO_TRIALS", "17")
+    monkeypatch.setenv("REPRO_EXACT_TIMEOUT", "123.5")
+    monkeypatch.setenv("REPRO_COFDM_LIMIT", "99")
+    assert trials() == 17
+    assert exact_timeout() == 123.5
+    assert cofdm_limit() == 99
+    monkeypatch.setenv("REPRO_COFDM_LIMIT", "0")
+    assert cofdm_limit() is None
+    monkeypatch.delenv("REPRO_TRIALS")
+    assert trials(default=7) == 7

@@ -1,0 +1,151 @@
+"""Tests for elementary cycle enumeration on multigraphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import (
+    CycleExplosionError,
+    Digraph,
+    count_edge_cycles,
+    cycle_edges_to_nodes,
+    elementary_edge_cycles,
+    elementary_node_cycles,
+)
+from tests.strategies import digraphs
+
+
+def to_nx(g: Digraph) -> nx.MultiDiGraph:
+    h = nx.MultiDiGraph()
+    h.add_nodes_from(g.nodes)
+    h.add_edges_from((e.src, e.dst) for e in g.edges)
+    return h
+
+
+def canonical(nodes):
+    """Rotation-invariant canonical form of a node cycle."""
+    nodes = list(nodes)
+    k = min(range(len(nodes)), key=lambda i: repr(nodes[i]))
+    return tuple(nodes[k:] + nodes[:k])
+
+
+def test_triangle_has_one_cycle():
+    g = Digraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    cycles = list(elementary_node_cycles(g))
+    assert len(cycles) == 1
+    assert canonical(cycles[0]) == ("a", "b", "c")
+
+
+def test_two_node_cycle_with_parallel_edges_expands():
+    g = Digraph()
+    g.add_edge("a", "b")
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    g.add_edge("b", "a")
+    node_cycles = list(elementary_node_cycles(g))
+    assert len(node_cycles) == 1
+    edge_cycles = list(elementary_edge_cycles(g))
+    assert len(edge_cycles) == 4  # 2 x 2 parallel choices
+    assert count_edge_cycles(g) == 4
+    for cycle in edge_cycles:
+        assert len(cycle) == 2
+        assert cycle[0].dst == cycle[1].src
+        assert cycle[1].dst == cycle[0].src
+
+
+def test_self_loops_are_length_one_cycles():
+    g = Digraph()
+    g.add_edge("a", "a")
+    g.add_edge("a", "a")
+    g.add_edge("a", "b")
+    assert list(elementary_node_cycles(g)) == [["a"]]
+    edge_cycles = list(elementary_edge_cycles(g))
+    assert len(edge_cycles) == 2  # one per parallel self-loop edge
+    assert count_edge_cycles(g) == 2
+
+
+def test_dag_has_no_cycles():
+    g = Digraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("a", "c")
+    assert list(elementary_edge_cycles(g)) == []
+    assert count_edge_cycles(g) == 0
+
+
+def test_overlapping_cycles():
+    # a->b->a and b->c->b share node b.
+    g = Digraph()
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    g.add_edge("b", "c")
+    g.add_edge("c", "b")
+    found = {canonical(c) for c in elementary_node_cycles(g)}
+    assert found == {canonical(["a", "b"]), canonical(["b", "c"])}
+
+
+def test_edge_cycles_are_closed_walks():
+    g = Digraph()
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    g.add_edge(2, 0)
+    g.add_edge(1, 0)
+    for cycle in elementary_edge_cycles(g):
+        for i, edge in enumerate(cycle):
+            assert edge.dst == cycle[(i + 1) % len(cycle)].src
+
+
+def test_max_cycles_budget():
+    g = Digraph()
+    for i in range(4):
+        for j in range(4):
+            if i != j:
+                g.add_edge(i, j)
+    with pytest.raises(CycleExplosionError):
+        list(elementary_edge_cycles(g, max_cycles=3))
+
+
+def test_cycle_edges_to_nodes():
+    g = Digraph()
+    g.add_edge("x", "y")
+    g.add_edge("y", "x")
+    (cycle,) = list(elementary_edge_cycles(g))
+    nodes = cycle_edges_to_nodes(cycle)
+    assert set(nodes) == {"x", "y"}
+    assert len(nodes) == 2
+
+
+@given(digraphs(max_nodes=6, max_edges=12))
+@settings(max_examples=60)
+def test_node_cycles_match_networkx(g):
+    theirs = set()
+    for cyc in nx.simple_cycles(nx.DiGraph(to_nx(g))):
+        theirs.add(canonical(cyc))
+    ours = {canonical(c) for c in elementary_node_cycles(g)}
+    assert ours == theirs
+
+
+@given(digraphs(max_nodes=5, max_edges=10))
+@settings(max_examples=60)
+def test_edge_cycle_count_matches_enumeration(g):
+    cycles = list(elementary_edge_cycles(g))
+    assert len(cycles) == count_edge_cycles(g)
+    # Every edge cycle is node-simple.
+    for cycle in cycles:
+        nodes = cycle_edges_to_nodes(cycle)
+        assert len(nodes) == len(set(nodes))
+
+
+@given(digraphs(max_nodes=5, max_edges=10))
+@settings(max_examples=40)
+def test_edge_cycles_match_networkx_multigraph(g):
+    theirs = set()
+    h = to_nx(g)
+    for cyc in nx.simple_cycles(h):
+        # networkx yields node lists for multigraphs too; count expansions.
+        theirs.add(canonical(cyc))
+    ours = {canonical(cycle_edges_to_nodes(c)) for c in elementary_edge_cycles(g)}
+    assert ours == theirs

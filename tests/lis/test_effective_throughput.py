@@ -1,0 +1,63 @@
+"""Tests for analytic open-system throughput vs simulation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen import fig1_lis, fig15_lis
+from repro.lis import RtlSimulator, effective_throughput, rate_limited
+
+
+def test_effective_without_environment_is_mst():
+    assert effective_throughput(fig1_lis()) == Fraction(2, 3)
+    assert effective_throughput(fig1_lis(), extra_tokens={1: 1}) == 1
+
+
+def test_effective_min_of_mst_and_rates():
+    lis = fig1_lis()  # MST 2/3
+    assert effective_throughput(
+        lis, {"A": Fraction(1, 2)}
+    ) == Fraction(1, 2)
+    assert effective_throughput(
+        lis, {"A": Fraction(9, 10)}
+    ) == Fraction(2, 3)
+    assert effective_throughput(
+        lis, {"A": Fraction(9, 10), "B": Fraction(1, 4)}
+    ) == Fraction(1, 4)
+
+
+def test_effective_validates_inputs():
+    with pytest.raises(ValueError):
+        effective_throughput(fig1_lis(), {"ghost": Fraction(1, 2)})
+    with pytest.raises(ValueError):
+        effective_throughput(fig1_lis(), {"A": Fraction(3, 2)})
+    with pytest.raises(ValueError):
+        effective_throughput(fig1_lis(), {"A": Fraction(0)})
+
+
+@given(
+    num=st.integers(min_value=1, max_value=5),
+    den=st.integers(min_value=5, max_value=9),
+    probe=st.sampled_from(["A", "B"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_effective_matches_simulation_on_fig1(num, den, probe):
+    rate = Fraction(num, den)
+    lis = fig1_lis()
+    expected = effective_throughput(lis, {"A": rate})
+    sim = RtlSimulator(lis, gates={"A": rate_limited(rate)})
+    sim.run(600)
+    measured = sim.throughput(probe, skip=100)
+    assert abs(measured - expected) < Fraction(1, 25)
+
+
+def test_effective_matches_simulation_on_fig15():
+    lis = fig15_lis()  # doubled MST 3/4
+    rate = Fraction(3, 5)
+    expected = effective_throughput(lis, {"B": rate})
+    assert expected == rate
+    sim = RtlSimulator(lis, gates={"B": rate_limited(rate)})
+    sim.run(700)
+    assert abs(sim.throughput("A", skip=100) - rate) < Fraction(1, 25)

@@ -1,0 +1,106 @@
+"""Tests for environment gates on open systems."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import LisGraph
+from repro.gen import fig1_lis
+from repro.lis import (
+    RtlSimulator,
+    always_ready,
+    bursty,
+    periodic_stall,
+    rate_limited,
+)
+
+
+def pipeline():
+    return LisGraph.from_edges([("src", "mid"), ("mid", "dst")])
+
+
+def test_always_ready_never_blocks():
+    gate = always_ready()
+    assert all(gate(c, k) for c in range(5) for k in range(5))
+
+
+def test_rate_limited_validation():
+    with pytest.raises(ValueError):
+        rate_limited(Fraction(0))
+    with pytest.raises(ValueError):
+        rate_limited(Fraction(3, 2))
+
+
+def test_rate_limited_schedule_density():
+    gate = rate_limited(Fraction(1, 3))
+    fired = 0
+    for clock in range(30):
+        if gate(clock, fired):
+            fired += 1
+    assert fired == 10  # exactly rate * clocks
+
+
+def test_periodic_stall_pattern():
+    gate = periodic_stall(period=4, stall_len=1)
+    pattern = [gate(c, 0) for c in range(8)]
+    assert pattern == [False, True, True, True, False, True, True, True]
+    with pytest.raises(ValueError):
+        periodic_stall(period=0)
+    with pytest.raises(ValueError):
+        periodic_stall(period=2, stall_len=3)
+
+
+def test_bursty_pattern():
+    gate = bursty(burst=2, gap=1)
+    assert [gate(c, 0) for c in range(6)] == [
+        True,
+        True,
+        False,
+        True,
+        True,
+        False,
+    ]
+    with pytest.raises(ValueError):
+        bursty(burst=0, gap=1)
+
+
+def test_environment_limits_pipeline_throughput():
+    """A rate-2/3 source drives the whole pipeline at 2/3."""
+    sim = RtlSimulator(
+        pipeline(), gates={"src": rate_limited(Fraction(2, 3))}
+    )
+    sim.run(300)
+    assert abs(sim.throughput("dst", skip=30) - Fraction(2, 3)) < Fraction(
+        1, 30
+    )
+
+
+def test_environment_backpressure_from_stalling_sink():
+    """A sink that accepts 1-in-2 throttles the source via backpressure."""
+    sim = RtlSimulator(
+        pipeline(), gates={"dst": rate_limited(Fraction(1, 2))}
+    )
+    sim.run(300)
+    assert abs(sim.throughput("src", skip=30) - Fraction(1, 2)) < Fraction(
+        1, 30
+    )
+
+
+def test_system_runs_at_min_of_mst_and_environment():
+    """Fig. 1 with q=1 has MST 2/3; a 1/2-rate environment dominates,
+    while a 9/10-rate environment leaves the internal MST limiting."""
+    slow_env = RtlSimulator(
+        fig1_lis(), gates={"A": rate_limited(Fraction(1, 2))}
+    )
+    slow_env.run(400)
+    assert abs(slow_env.throughput("B", skip=40) - Fraction(1, 2)) < Fraction(
+        1, 30
+    )
+
+    fast_env = RtlSimulator(
+        fig1_lis(), gates={"A": rate_limited(Fraction(9, 10))}
+    )
+    fast_env.run(400)
+    assert abs(fast_env.throughput("B", skip=40) - Fraction(2, 3)) < Fraction(
+        1, 30
+    )

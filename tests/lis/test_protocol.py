@@ -1,0 +1,70 @@
+"""Tests for the protocol vocabulary: tau, behaviours, traces."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lis import TAU, ShellBehavior, Tau, Trace, adder, counter
+
+
+def test_tau_singleton_and_falsy():
+    assert Tau() is TAU
+    assert not TAU
+    assert repr(TAU) == "τ"
+
+
+def test_behavior_initial_broadcast_and_mapping():
+    broadcast = ShellBehavior(initial=7)
+    assert broadcast.initial_for(0) == 7
+    assert broadcast.initial_for(99) == 7
+    mapped = ShellBehavior(initial={0: 1, 1: 2})
+    assert mapped.initial_for(1) == 2
+    with pytest.raises(KeyError):
+        mapped.initial_for(5)
+
+
+def test_behavior_default_fn_is_passthrough():
+    b = ShellBehavior()
+    assert b.compute({3: "x"}) == "x"
+    assert b.compute({1: "a", 2: "b"}) == ("a", "b")
+
+
+def test_outputs_for():
+    b = ShellBehavior()
+    assert b.outputs_for(5, [1, 2]) == {1: 5, 2: 5}
+    assert b.outputs_for({1: "a", 2: "b"}, [1, 2]) == {1: "a", 2: "b"}
+
+
+def test_adder_behavior():
+    b = adder(initial=0)
+    assert b.initial_for(0) == 0
+    assert b.compute({0: 2, 1: 3}) == 5
+
+
+def test_counter_behavior():
+    b = counter(start=0, step=2)
+    assert b.initial_for(0) == 0
+    assert b.compute({}) == 2
+    assert b.compute({}) == 4  # stateful
+
+
+def test_trace_recording_and_throughput():
+    trace = Trace()
+    for value, fired in [(1, True), (TAU, False), (2, True), (3, True)]:
+        trace.record("n", value, fired)
+    trace.clocks = 4
+    assert trace.row("n") == [1, TAU, 2, 3]
+    assert trace.throughput("n") == Fraction(3, 4)
+    assert trace.throughput("n", skip=1) == Fraction(2, 3)
+    with pytest.raises(ValueError):
+        trace.throughput("n", skip=4)
+
+
+def test_trace_format_table():
+    trace = Trace()
+    trace.record("A", 1, True)
+    trace.record("A", TAU, False)
+    trace.clocks = 2
+    text = trace.format_table(["A"])
+    assert "t0" in text and "t1" in text
+    assert "τ" in text

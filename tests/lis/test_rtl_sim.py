@@ -1,0 +1,156 @@
+"""Tests for the structural RTL-style simulator and its equivalence to
+the marked-graph trace simulator."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LisGraph, actual_mst, relay_name
+from repro.gen import fig1_lis, fig15_lis, ring_lis, tree_lis
+from repro.lis import (
+    TAU,
+    RtlShell,
+    RtlSimulator,
+    ShellBehavior,
+    TraceSimulator,
+    adder,
+    simulate_rtl,
+)
+
+
+def table1_behaviors():
+    state = {"k": 0}
+
+    def a_fn(_inputs):
+        state["k"] += 1
+        return {0: 2 * state["k"], 1: 2 * state["k"] + 1}
+
+    return {
+        "A": ShellBehavior(initial={0: 0, 1: 1}, fn=a_fn),
+        "B": adder(initial=0),
+    }
+
+
+def test_rtl_reproduces_table1():
+    lis = fig1_lis()
+    lis.set_queue(1, 2)
+    trace = simulate_rtl(lis, 4, table1_behaviors())
+    rs = relay_name(0, 0)
+    assert trace.row("A") == [0, 2, 4, 6]
+    assert trace.row(rs) == [TAU, 0, 2, 4]
+    assert trace.row("B") == [0, TAU, 1, 5]
+
+
+def test_stop_asserted_when_queue_full():
+    """A q=1 channel segment accepts the latched reset datum plus one
+    queued item; stop rises when both slots are occupied."""
+    sim = RtlSimulator(fig1_lis(), table1_behaviors())
+    (lower_final,) = [
+        seg
+        for seg in sim.segments
+        if seg.channel == 1 and isinstance(seg.consumer, RtlShell)
+    ]
+    assert lower_final.capacity == 2  # q + input latch
+    assert not lower_final.stop  # reset placeholder alone
+    lower_final.queue.append("in-flight")
+    assert lower_final.stop
+
+
+def test_stop_throttles_producer():
+    """With q=1 on Fig. 1, A must periodically stall (rate 2/3)."""
+    sim = RtlSimulator(fig1_lis(), table1_behaviors())
+    sim.run(30)
+    assert abs(sim.throughput("A", skip=3) - Fraction(2, 3)) < Fraction(1, 15)
+
+
+def test_relay_station_capacity_two():
+    from repro.lis import RtlRelayStation
+
+    sim = RtlSimulator(fig1_lis())
+    rs_hops = [
+        seg
+        for seg in sim.segments
+        if isinstance(seg.consumer, RtlRelayStation)
+    ]
+    assert len(rs_hops) == 1  # the hop A -> rs on the upper channel
+    assert rs_hops[0].capacity == 2
+    assert rs_hops[0].channel == 0
+    assert not rs_hops[0].queue  # relay stations reset void
+
+
+def test_rtl_rate_matches_static_mst():
+    lis = fig15_lis()
+    sim = RtlSimulator(lis)
+    sim.run(420)
+    assert abs(
+        sim.throughput("A", skip=20) - actual_mst(lis).mst
+    ) < Fraction(1, 40)
+
+
+def test_rtl_extra_tokens_grow_queues():
+    lis = fig15_lis()
+    sim = RtlSimulator(lis, extra_tokens={5: 1, 6: 1})
+    sim.run(420)
+    assert abs(sim.throughput("A", skip=20) - Fraction(5, 6)) < Fraction(1, 40)
+
+
+def test_unknown_simulator_name_rejected():
+    from repro.lis import measured_throughput
+
+    with pytest.raises(ValueError):
+        measured_throughput(fig1_lis(), "A", simulator="verilog")
+
+
+# ----------------------------------------------------------------------
+# Cross-validation: the two simulators are cycle-for-cycle equivalent
+# ----------------------------------------------------------------------
+def assert_equivalent(lis, clocks=60):
+    trace_a = TraceSimulator(lis).run(clocks)
+    trace_b = RtlSimulator(lis).run(clocks)
+    assert trace_a.fired == trace_b.fired
+
+
+def test_equivalence_fig1():
+    assert_equivalent(fig1_lis())
+
+
+def test_equivalence_fig15():
+    assert_equivalent(fig15_lis())
+
+
+def test_equivalence_tree():
+    assert_equivalent(tree_lis(depth=2, relays_per_channel=2))
+
+
+def test_equivalence_ring():
+    assert_equivalent(ring_lis(5, relays=3))
+
+
+@given(
+    upper=st.integers(min_value=0, max_value=3),
+    lower=st.integers(min_value=0, max_value=3),
+    q=st.integers(min_value=1, max_value=3),
+    ring_relays=st.integers(min_value=0, max_value=2),
+)
+@settings(max_examples=25, deadline=None)
+def test_equivalence_on_random_small_systems(upper, lower, q, ring_relays):
+    """Firing patterns of both simulators coincide exactly."""
+    lis = LisGraph(default_queue=q)
+    lis.add_channel("A", "B", relays=upper)
+    lis.add_channel("A", "B", relays=lower)
+    lis.add_channel("B", "C")
+    lis.add_channel("C", "B", relays=ring_relays)
+    assert_equivalent(lis, clocks=50)
+
+
+def test_crossvalidate_helper():
+    from repro.lis import crossvalidate
+
+    report = crossvalidate(fig15_lis(), clocks=400, warmup=100)
+    assert report["agreed"]
+    assert report["analytic"] == Fraction(3, 4)
+    report2 = crossvalidate(tree_lis(depth=2), clocks=200, warmup=50)
+    assert report2["agreed"]
+    assert report2["analytic"] == 1

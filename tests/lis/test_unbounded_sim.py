@@ -1,0 +1,76 @@
+"""Tests for the unbounded (ideal-system) simulation mode."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.gen import fig1_lis, fig15_lis, uplink_downlink_lis
+from repro.lis import TraceSimulator
+
+
+def test_unbounded_fig1_runs_at_full_rate():
+    sim = TraceSimulator(fig1_lis(), bounded=False)
+    sim.run(120)
+    assert sim.trace.throughput("B", skip=20) == 1
+    assert sim.trace.throughput("A", skip=20) == 1
+
+
+def test_unbounded_occupancy_is_lu_koh_big_enough():
+    """Peak occupancy of the ideal run tells how big 'big enough' is."""
+    sim = TraceSimulator(fig1_lis(), bounded=False)
+    sim.run(120)
+    occupancy = sim.max_queue_occupancy()
+    assert occupancy[1] == 2  # the short channel buffers one extra
+    assert occupancy[0] == 1
+
+
+def test_unbounded_fig15_runs_at_ideal_rate():
+    sim = TraceSimulator(fig15_lis(), bounded=False)
+    sim.run(360)
+    rate = sim.trace.throughput("A", skip=60)
+    assert abs(rate - Fraction(5, 6)) < Fraction(1, 40)
+
+
+def test_unbounded_accumulation_on_rate_mismatch():
+    """The intro example: a 3/4 uplink feeding a 2/3 downlink needs
+    unbounded buffering -- occupancy keeps growing with the horizon."""
+    short = TraceSimulator(uplink_downlink_lis(), bounded=False)
+    short.run(120)
+    long = TraceSimulator(uplink_downlink_lis(), bounded=False)
+    long.run(480)
+    bridge_channel = 5  # the u0 -> d0 link (last channel added)
+    assert (
+        long.max_queue_occupancy()[bridge_channel]
+        > short.max_queue_occupancy()[bridge_channel]
+    )
+
+
+def test_unbounded_rejects_extra_tokens():
+    with pytest.raises(ValueError):
+        TraceSimulator(fig1_lis(), extra_tokens={1: 1}, bounded=False)
+
+
+def test_bounded_vs_unbounded_latency_equivalent_streams():
+    from repro.lis import ShellBehavior, adder
+    from repro.lis.equivalence import valid_stream
+
+    def behaviors():
+        state = {"k": 0}
+
+        def a_fn(_inputs):
+            state["k"] += 1
+            return {0: 2 * state["k"], 1: 2 * state["k"] + 1}
+
+        return {
+            "A": ShellBehavior(initial={0: 0, 1: 1}, fn=a_fn),
+            "B": adder(initial=0),
+        }
+
+    bounded = TraceSimulator(fig1_lis(), behaviors())
+    bounded.run(90)
+    unbounded = TraceSimulator(fig1_lis(), behaviors(), bounded=False)
+    unbounded.run(60)
+    a = valid_stream(bounded.trace, "B")
+    b = valid_stream(unbounded.trace, "B")
+    n = min(len(a), len(b))
+    assert n > 20 and a[:n] == b[:n]

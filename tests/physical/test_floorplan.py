@@ -1,0 +1,112 @@
+"""Tests for block placement."""
+
+import pytest
+
+from repro.core import LisGraph
+from repro.physical import (
+    Block,
+    Floorplan,
+    FloorplanError,
+    anneal_placement,
+    shelf_placement,
+    total_wirelength,
+)
+
+
+def square_blocks(n, side=1.0):
+    return [Block(f"b{i}", side, side) for i in range(n)]
+
+
+def chain_netlist(n):
+    return LisGraph.from_edges(
+        [(f"b{i}", f"b{i+1}") for i in range(n - 1)]
+    )
+
+
+def test_block_validation():
+    with pytest.raises(FloorplanError):
+        Block("bad", 0, 1)
+    with pytest.raises(FloorplanError):
+        Block("bad", 1, -2)
+    assert Block("ok", 2, 3).area == 6
+
+
+def test_shelf_placement_no_overlap():
+    plan = shelf_placement(square_blocks(9))
+    plan.validate()  # raises on overlap
+    width, height = plan.bounding_box()
+    assert width > 0 and height > 0
+
+
+def test_shelf_placement_rejects_empty_and_duplicates():
+    with pytest.raises(FloorplanError):
+        shelf_placement([])
+    with pytest.raises(FloorplanError):
+        shelf_placement([Block("x", 1, 1), Block("x", 2, 2)])
+
+
+def test_shelf_roughly_square():
+    plan = shelf_placement(square_blocks(16))
+    width, height = plan.bounding_box()
+    assert 0.4 <= width / height <= 2.5
+
+
+def test_validate_detects_overlap():
+    blocks = {b.name: b for b in square_blocks(2)}
+    plan = Floorplan(blocks=blocks, positions={"b0": (0, 0), "b1": (0.5, 0.5)})
+    with pytest.raises(FloorplanError):
+        plan.validate()
+
+
+def test_validate_detects_unplaced():
+    blocks = {b.name: b for b in square_blocks(2)}
+    plan = Floorplan(blocks=blocks, positions={"b0": (0, 0)})
+    with pytest.raises(FloorplanError):
+        plan.validate()
+
+
+def test_center_and_wire_length():
+    blocks = {b.name: b for b in square_blocks(2)}
+    plan = Floorplan(
+        blocks=blocks, positions={"b0": (0, 0), "b1": (3, 0)}
+    )
+    assert plan.center("b0") == (0.5, 0.5)
+    assert plan.wire_length("b0", "b1") == 3.0
+
+
+def test_total_wirelength():
+    lis = chain_netlist(3)
+    blocks = {b.name: b for b in square_blocks(3)}
+    plan = Floorplan(
+        blocks=blocks,
+        positions={"b0": (0, 0), "b1": (1, 0), "b2": (2, 0)},
+    )
+    assert total_wirelength(plan, lis) == 2.0
+
+
+def test_annealing_is_deterministic_and_valid():
+    lis = chain_netlist(8)
+    blocks = square_blocks(8)
+    a = anneal_placement(blocks, lis, seed=3, iterations=300)
+    b = anneal_placement(blocks, lis, seed=3, iterations=300)
+    a.validate()
+    assert a.positions == b.positions
+
+
+def test_annealing_not_worse_than_shelf_baseline():
+    lis = LisGraph.from_edges(
+        [("b0", "b7"), ("b7", "b0"), ("b1", "b6"), ("b2", "b5")]
+    )
+    for i in range(8):
+        lis.add_shell(f"b{i}")
+    blocks = square_blocks(8)
+    baseline = total_wirelength(shelf_placement(blocks), lis)
+    annealed = anneal_placement(blocks, lis, seed=11, iterations=1500)
+    assert total_wirelength(annealed, lis) <= baseline
+
+
+def test_single_block_placement():
+    plan = anneal_placement(
+        [Block("only", 2, 1)], LisGraph.from_edges([]), seed=0
+    )
+    assert plan.positions == {"only": (0.0, 0.0)}

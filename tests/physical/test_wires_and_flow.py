@@ -1,0 +1,139 @@
+"""Tests for the wire model and the end-to-end physical flow."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core import LisGraph, actual_mst, ideal_mst
+from repro.physical import (
+    Block,
+    WireModel,
+    design_flow,
+    manhattan,
+    pipeline_wires,
+    shelf_placement,
+)
+from repro.soc import BLOCKS, cofdm_transmitter
+
+
+def test_manhattan():
+    assert manhattan((0, 0), (3, 4)) == 7
+    assert manhattan((1.5, 2), (1.5, 2)) == 0
+
+
+def test_wire_model_validation():
+    with pytest.raises(ValueError):
+        WireModel(clock_period_ns=0)
+    with pytest.raises(ValueError):
+        WireModel(clock_period_ns=1, delay_ns_per_mm=0)
+    with pytest.raises(ValueError):
+        WireModel(clock_period_ns=1, timing_margin=0)
+
+
+def test_relays_needed_arithmetic():
+    # reach = 1.0ns / 0.25ns/mm = 4mm
+    model = WireModel(clock_period_ns=1.0, delay_ns_per_mm=0.25)
+    assert model.reach_mm == 4.0
+    assert model.relays_needed(0) == 0
+    assert model.relays_needed(3.9) == 0
+    assert model.relays_needed(4.0) == 0  # exactly one segment
+    assert model.relays_needed(4.1) == 1
+    assert model.relays_needed(8.0) == 1
+    assert model.relays_needed(12.5) == 3
+    with pytest.raises(ValueError):
+        model.relays_needed(-1)
+
+
+def test_timing_margin_shrinks_reach():
+    tight = WireModel(clock_period_ns=1.0, delay_ns_per_mm=0.25, timing_margin=0.5)
+    assert tight.reach_mm == 2.0
+    assert tight.relays_needed(4.0) == 1
+
+
+def test_pipeline_wires_sets_relays_from_distances():
+    lis = LisGraph.from_edges([("a", "b"), ("b", "a")])
+    plan = shelf_placement([Block("a", 1, 1), Block("b", 1, 1)])
+    # Blocks are abutted: center distance 1.0mm.
+    model = WireModel(clock_period_ns=1.0, delay_ns_per_mm=2.5)  # reach 0.4mm
+    pipelined = pipeline_wires(lis, plan, model)
+    for channel in pipelined.channels():
+        assert channel.data["relays"] == 2  # ceil(1.0/0.4)-1
+    # Original untouched.
+    assert lis.total_relays() == 0
+
+
+def test_pipeline_wires_overwrites_existing_relays():
+    lis = LisGraph.from_edges([("a", "b")])
+    lis.insert_relay(0, 5)
+    plan = shelf_placement([Block("a", 1, 1), Block("b", 1, 1)])
+    relaxed = WireModel(clock_period_ns=10.0)
+    assert pipeline_wires(lis, plan, relaxed).total_relays() == 0
+
+
+def cofdm_blocks(seed=1):
+    rng = random.Random(seed)
+    return [
+        Block(name, round(rng.uniform(0.6, 2.2), 2), round(rng.uniform(0.6, 2.2), 2))
+        for name in BLOCKS
+    ]
+
+
+def test_design_flow_requires_all_blocks():
+    with pytest.raises(ValueError):
+        design_flow(
+            cofdm_transmitter(),
+            [Block("FEC", 1, 1)],
+            WireModel(clock_period_ns=1.0),
+        )
+
+
+def test_design_flow_end_to_end_on_cofdm():
+    report = design_flow(
+        cofdm_transmitter(),
+        cofdm_blocks(),
+        WireModel(clock_period_ns=0.6),
+        seed=7,
+        anneal_iterations=400,
+    )
+    report.floorplan.validate()
+    assert report.relay_stations > 0
+    assert report.degraded <= report.ideal
+    assert report.sizing.restores_target
+    assert report.recovered == report.ideal
+    # Independent re-analysis agrees with the report.
+    assert ideal_mst(report.pipelined).mst == report.ideal
+    assert actual_mst(report.pipelined).mst == report.degraded
+    rows = report.summary_rows()
+    assert any("relay stations" in str(r[0]) for r in rows)
+
+
+def test_slower_clock_needs_fewer_relays():
+    blocks = cofdm_blocks()
+    net = cofdm_transmitter()
+    relays = []
+    for clock in (0.4, 0.8, 1.6):
+        report = design_flow(
+            net,
+            blocks,
+            WireModel(clock_period_ns=clock),
+            seed=7,
+            anneal_iterations=200,
+        )
+        relays.append(report.relay_stations)
+    assert relays[0] >= relays[1] >= relays[2]
+
+
+def test_ideal_mst_monotone_in_clock_period():
+    """Tighter clocks cannot raise the cycles-per-token of any loop."""
+    blocks = cofdm_blocks()
+    net = cofdm_transmitter()
+    msts = []
+    for clock in (0.35, 0.7, 2.0):
+        report = design_flow(
+            net, blocks, WireModel(clock_period_ns=clock), seed=7,
+            anneal_iterations=200,
+        )
+        msts.append(report.ideal)
+    assert msts[0] <= msts[1] <= msts[2]
+    assert msts[-1] == Fraction(1)  # relaxed clock: no relays at all

@@ -1,0 +1,72 @@
+"""Tests for the Table V exhaustive-insertion sweep (bounded slices)."""
+
+from fractions import Fraction
+
+from repro.core import actual_mst, ideal_mst
+from repro.soc import cofdm_transmitter, run_exhaustive_insertion
+
+
+def test_sweep_slice_structure():
+    report = run_exhaustive_insertion(limit=12, exact_timeout=10)
+    assert len(report.placements) == 12
+    assert report.queue == 1
+    assert report.relays_per_placement == 2
+    for placement in report.placements:
+        assert len(placement.channels) == 2
+        assert placement.actual <= placement.ideal
+        if placement.degraded:
+            assert placement.heuristic_tokens["orig"] >= 1
+            assert placement.heuristic_tokens["simplified"] >= 1
+            # The heuristic never beats the optimum.
+            for variant in ("orig", "simplified"):
+                opt = placement.optimal_tokens[variant]
+                if opt is not None:
+                    assert placement.heuristic_tokens[variant] >= opt
+        else:
+            assert placement.heuristic_tokens == {}
+
+
+def test_summary_keys_present():
+    report = run_exhaustive_insertion(limit=12, exact_timeout=10)
+    summary = report.summary()
+    assert summary["insertions"] == 12
+    assert 0 <= summary["degraded_fraction"] <= 1
+    if report.degraded:
+        assert "heuristic_tokens_orig" in summary
+        assert "optimal_tokens_simplified" in summary
+        assert summary["heuristic_tokens_orig"] >= summary["optimal_tokens_orig"]
+
+
+def test_simplified_solutions_never_worse_for_optimal():
+    report = run_exhaustive_insertion(limit=20, exact_timeout=10)
+    for placement in report.degraded:
+        orig = placement.optimal_tokens["orig"]
+        simp = placement.optimal_tokens["simplified"]
+        if orig is not None and simp is not None:
+            assert simp == orig  # both are optimal costs
+
+
+def test_q2_single_relay_never_degrades():
+    """Section IX: one relay station with q = 2 cannot degrade."""
+    report = run_exhaustive_insertion(
+        queue=2, relays_per_placement=1, run_exact=False
+    )
+    assert len(report.placements) == 30
+    assert not report.degraded
+
+
+def test_heuristic_only_mode_skips_exact():
+    report = run_exhaustive_insertion(limit=6, run_exact=False)
+    for placement in report.degraded:
+        assert placement.optimal_tokens == {}
+
+
+def test_single_relay_q1_some_placements_degrade():
+    """With q = 1 even a single relay station can degrade (any channel
+    on a reconvergent pair), unlike the q = 2 case."""
+    report = run_exhaustive_insertion(
+        queue=1, relays_per_placement=1, run_exact=False
+    )
+    assert report.degraded  # at least one of 30 placements
+    base = cofdm_transmitter()
+    assert ideal_mst(base).mst == actual_mst(base).mst == Fraction(1)

@@ -1,0 +1,44 @@
+"""Shared hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graphs import Digraph
+
+
+@st.composite
+def digraphs(
+    draw,
+    max_nodes: int = 8,
+    max_edges: int = 20,
+    allow_self_loops: bool = True,
+    allow_parallel: bool = True,
+    min_nodes: int = 1,
+):
+    """A random :class:`Digraph` with integer nodes ``0..n-1``."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    g = Digraph()
+    for i in range(n):
+        g.add_node(i)
+    seen: set[tuple[int, int]] = set()
+    for _ in range(m):
+        src = draw(st.integers(min_value=0, max_value=n - 1))
+        dst = draw(st.integers(min_value=0, max_value=n - 1))
+        if not allow_self_loops and src == dst:
+            continue
+        if not allow_parallel and (src, dst) in seen:
+            continue
+        seen.add((src, dst))
+        g.add_edge(src, dst)
+    return g
+
+
+@st.composite
+def weighted_digraphs(draw, max_nodes: int = 7, max_edges: int = 16):
+    """A random Digraph whose edges carry small non-negative int weights."""
+    g = draw(digraphs(max_nodes=max_nodes, max_edges=max_edges))
+    for edge in g.edges:
+        edge.data["w"] = draw(st.integers(min_value=0, max_value=4))
+    return g

@@ -1,0 +1,123 @@
+"""End-to-end tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def fig1_file(tmp_path, capsys):
+    path = tmp_path / "fig1.json"
+    assert main(["example", "fig1", "-o", str(path)]) == 0
+    capsys.readouterr()
+    return path
+
+
+def test_example_to_stdout(capsys):
+    assert main(["example", "fig15"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert len(doc["channels"]) == 7
+
+
+def test_example_unknown_name_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["example", "figure-does-not-exist"])
+
+
+def test_analyze(fig1_file, capsys):
+    assert main(["analyze", str(fig1_file)]) == 0
+    out = capsys.readouterr().out
+    assert "practical MST:   2/3" in out
+    assert "DEGRADED" in out
+    assert "critical cycle" in out
+
+
+def test_size_heuristic_and_exit_code(fig1_file, capsys):
+    assert main(["size", str(fig1_file), "--method", "exact"]) == 0
+    out = capsys.readouterr().out
+    assert "total tokens: 1" in out
+    assert "queue 1 -> 2" in out
+
+
+def test_size_with_explicit_target(fig1_file, capsys):
+    assert main(["size", str(fig1_file), "--target", "2/3"]) == 0
+    out = capsys.readouterr().out
+    assert "total tokens: 0" in out
+
+
+def test_size_invalid_target_is_an_error(fig1_file, capsys):
+    # Targets above 1 are rejected up front (no LIS can exceed rate 1).
+    assert main(["size", str(fig1_file), "--target", "3/2"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_generate_and_analyze(tmp_path, capsys):
+    out_file = tmp_path / "gen.json"
+    assert (
+        main(
+            [
+                "generate",
+                "-o",
+                str(out_file),
+                "--vertices",
+                "12",
+                "--sccs",
+                "2",
+                "--cycles",
+                "1",
+                "--relays",
+                "2",
+                "--seed",
+                "5",
+            ]
+        )
+        == 0
+    )
+    assert out_file.exists()
+    capsys.readouterr()
+    assert main(["analyze", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "shells:          12" in out
+
+
+def test_simulate(fig1_file, capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                str(fig1_file),
+                "--clocks",
+                "150",
+                "--warmup",
+                "30",
+                "--shell",
+                "B",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "analytic MST:    2/3" in out
+
+
+def test_simulate_rtl_autoprobe(fig1_file, capsys):
+    assert main(["simulate", str(fig1_file), "--simulator", "rtl"]) == 0
+    out = capsys.readouterr().out
+    assert "simulator:       rtl" in out
+
+
+def test_dot_views(fig1_file, capsys):
+    for view in ("system", "ideal", "doubled"):
+        assert main(["dot", str(fig1_file), "--view", view]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        if view == "doubled":
+            assert "style=dashed" in out
+            assert "shape=box" in out  # relay stations
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
