@@ -106,4 +106,5 @@ def test_ablation_mcm_algorithms(benchmark, publish):
             table,
             title="Ablation - minimum cycle mean algorithms on doubled graphs",
         ),
+        data={"rows": rows},
     )

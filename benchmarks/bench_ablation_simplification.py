@@ -20,9 +20,9 @@ from fractions import Fraction
 import pytest
 
 from repro.core.cycles import collapse_sccs, is_collapsible
-from repro.core.solvers.exact import solve_td_exact
+from repro.core.solvers import solve_td_exact_instance
 from repro.core.token_deficit import build_td_instance
-from repro.experiments import render_table, save_result
+from repro.experiments import render_table
 from repro.gen import GeneratorConfig, generate_lis
 
 
@@ -48,14 +48,14 @@ def run_variant(lis, variant):
     if rules:
         instance.simplify(rules)
     t0 = time.perf_counter()
-    outcome = solve_td_exact(instance, timeout=60)
+    weights, stats = solve_td_exact_instance(instance, timeout=60)
     elapsed = (time.perf_counter() - t0) * 1e3
-    cost = outcome.cost + sum(instance.forced.values())
+    cost = sum(weights.values()) + sum(instance.forced.values())
     return {
         "cost": cost,
         "residual_cycles": len(instance.deficits),
         "residual_edges": len(instance.sets),
-        "nodes": outcome.nodes_explored,
+        "nodes": stats["nodes_explored"],
         "ms": elapsed,
     }
 
@@ -116,4 +116,20 @@ def test_ablation_simplification(benchmark, publish):
                 f"(exact solver, {len(SEEDS)} systems, v=60 s=8 rs=10)"
             ),
         ),
+        data={
+            "seeds": SEEDS,
+            "variants": {
+                variant: {
+                    key: avg(variant, key)
+                    for key in (
+                        "residual_cycles",
+                        "residual_edges",
+                        "nodes",
+                        "ms",
+                        "cost",
+                    )
+                }
+                for variant in VARIANTS
+            },
+        },
     )

@@ -17,12 +17,7 @@ from repro.core.npcomplete import (
     minimum_vertex_cover,
     reduce_vertex_cover_to_qs,
 )
-from repro.core.solvers import (
-    lp_lower_bound,
-    solve_td_exact,
-    solve_td_heuristic,
-    solve_td_milp,
-)
+from repro.core.solvers import get_solver, lp_lower_bound
 from repro.core.token_deficit import build_td_instance
 from repro.experiments import render_table
 
@@ -42,10 +37,11 @@ def random_vc_instance(n, seed):
     return vertices, edges
 
 
-def timed(fn, *args, **kwargs):
+def timed_solve(name, instance, **kwargs):
+    solver = get_solver(name)
     t0 = time.perf_counter()
-    value = fn(*args, **kwargs)
-    return value, (time.perf_counter() - t0) * 1e3
+    weights, _stats = solver.solve_instance(instance, **kwargs)
+    return sum(weights.values()), (time.perf_counter() - t0) * 1e3
 
 
 def test_ablation_solvers(benchmark, publish):
@@ -55,10 +51,10 @@ def test_ablation_solvers(benchmark, publish):
             vertices, edges = random_vc_instance(n, seed=n * 31)
             red = reduce_vertex_cover_to_qs(vertices, edges, n)
             instance = build_td_instance(red.lis, simplify=True)
-            heur, heur_ms = timed(solve_td_heuristic, instance)
-            exact, exact_ms = timed(solve_td_exact, instance, timeout=120)
-            milp, milp_ms = timed(solve_td_milp, instance, timeout=120)
-            bound, _ = timed(lp_lower_bound, instance)
+            heur, heur_ms = timed_solve("heuristic", instance)
+            exact, exact_ms = timed_solve("exact", instance, timeout=120)
+            milp, milp_ms = timed_solve("milp", instance, timeout=120)
+            bound = lp_lower_bound(instance)
             forced = sum(instance.forced.values())
             vc = len(minimum_vertex_cover(vertices, edges))
             rows.append(
@@ -66,11 +62,11 @@ def test_ablation_solvers(benchmark, publish):
                     "n": n,
                     "edges": len(edges),
                     "vc": vc,
-                    "heur": sum(heur.values()) + forced,
+                    "heur": heur + forced,
                     "heur_ms": heur_ms,
-                    "exact": exact.cost + forced,
+                    "exact": exact + forced,
                     "exact_ms": exact_ms,
-                    "milp": milp.cost + forced,
+                    "milp": milp + forced,
                     "milp_ms": milp_ms,
                     "lp": bound + forced,
                 }
@@ -124,4 +120,5 @@ def test_ablation_solvers(benchmark, publish):
                 "(optimum == minimum cover)"
             ),
         ),
+        data={"rows": rows},
     )

@@ -48,4 +48,12 @@ def test_fig15_counterexample(benchmark, publish):
             rows,
             title="Fig. 15 - relay insertion cannot recover the ideal MST",
         ),
+        data={
+            "ideal_mst": ideal,
+            "degraded_mst": degraded,
+            "best_relay_insertion_mst": search.actual,
+            "assignments_searched": search.evaluated,
+            "qs_cost": qs.cost,
+            "qs_achieved": qs.achieved,
+        },
     )

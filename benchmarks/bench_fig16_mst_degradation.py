@@ -15,10 +15,12 @@ RS_VALUES = [2, 6, 10, 14, 18]
 QUEUES = [1, 5, 10]
 
 
-def test_fig16_mst_degradation(benchmark, publish):
+def test_fig16_mst_degradation(benchmark, publish, engine):
     n_trials = trials()
     series = benchmark.pedantic(
-        lambda: fig16_mst_degradation(RS_VALUES, QUEUES, trials=n_trials),
+        lambda: fig16_mst_degradation(
+            RS_VALUES, QUEUES, trials=n_trials, engine=engine
+        ),
         rounds=1,
         iterations=1,
     )
@@ -56,4 +58,12 @@ def test_fig16_mst_degradation(benchmark, publish):
                 f"(v=50, s=5, c=5, rp=1; {n_trials} trials)"
             ),
         ),
+        data={
+            "trials": n_trials,
+            "rs_values": RS_VALUES,
+            "series": {
+                f"{policy}/q={label}": values
+                for (policy, label), values in sorted(series.items())
+            },
+        },
     )

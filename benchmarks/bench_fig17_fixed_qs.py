@@ -10,10 +10,12 @@ from repro.experiments import fig17_fixed_queue_recovery, render_table, trials
 Q_VALUES = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
 
 
-def test_fig17_fixed_qs(benchmark, publish):
+def test_fig17_fixed_qs(benchmark, publish, engine):
     n_trials = trials()
     ratios = benchmark.pedantic(
-        lambda: fig17_fixed_queue_recovery(Q_VALUES, trials=n_trials),
+        lambda: fig17_fixed_queue_recovery(
+            Q_VALUES, trials=n_trials, engine=engine
+        ),
         rounds=1,
         iterations=1,
     )
@@ -33,4 +35,8 @@ def test_fig17_fixed_qs(benchmark, publish):
                 f"(scc insertion, rs=10, {n_trials} trials)"
             ),
         ),
+        data={
+            "trials": n_trials,
+            "ratios": {str(q): ratios[q] for q in Q_VALUES},
+        },
     )

@@ -46,4 +46,12 @@ def test_fig5_fig6_example(benchmark, publish):
             rows,
             title="Figs. 2/5/6 - the running example",
         ),
+        data={
+            "ideal_mst": ideal.mst,
+            "degraded_mst": degraded.mst,
+            "fixed_queue_mst": fixed_queue.mst,
+            "relay_balanced_mst": relay_balanced.mst,
+            "qs_cost": solution.cost,
+            "qs_achieved": solution.achieved,
+        },
     )

@@ -85,4 +85,18 @@ def test_physical_flow_clock_sweep(benchmark, publish):
                 "periods (anneal seed 7)"
             ),
         ),
+        data={
+            "clocks_ns": CLOCKS,
+            "rows": [
+                {
+                    "clock_ns": clock,
+                    "relay_stations": r.relay_stations,
+                    "ideal_mst": r.ideal,
+                    "degraded_mst": r.degraded,
+                    "recovered_mst": r.recovered,
+                    "tokens": r.sizing.cost,
+                }
+                for clock, r in zip(CLOCKS, reports)
+            ],
+        },
     )

@@ -51,4 +51,20 @@ def test_simulator_crossvalidation(benchmark, publish):
             rows,
             title="Cross-validation - static analysis vs both simulators",
         ),
+        data={
+            "cases": [
+                {
+                    "v": cfg.v,
+                    "s": cfg.s,
+                    "rs": cfg.rs,
+                    "policy": cfg.policy,
+                    "seed": cfg.seed,
+                    "analytic": report["analytic"],
+                    "trace": report["trace"],
+                    "rtl": report["rtl"],
+                    "agreed": report["agreed"],
+                }
+                for cfg, report in zip(CASES, reports)
+            ],
+        },
     )

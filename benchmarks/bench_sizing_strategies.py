@@ -121,4 +121,19 @@ def test_sizing_strategies(benchmark, publish):
                 "ideal MST (v=40, s=5, rs=8, scc insertion)"
             ),
         ),
+        data={
+            "rows": [
+                {
+                    "seed": r["seed"],
+                    "degraded_mst": r["degraded"],
+                    "exact_cost": r["exact"].cost,
+                    "milp_cost": r["milp"].cost,
+                    "heuristic_cost": r["heuristic"].cost,
+                    "empirical_cost": r["empirical"],
+                    "uniform_extra": r["uniform_extra"],
+                    "uniform_q": r["uniform_q"],
+                }
+                for r in rows
+            ],
+        },
     )

@@ -52,4 +52,10 @@ def test_table1_traces(benchmark, publish):
         "table1_traces",
         "Table I - output traces of the LIS of Fig. 1\n"
         + trace.format_table(["A", rs, "B"]),
+        data={
+            "traces": {
+                str(name): [str(v) for v in trace.row(name)]
+                for name in ("A", rs, "B")
+            },
+        },
     )

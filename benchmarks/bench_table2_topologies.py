@@ -6,17 +6,17 @@ rings), and general networks of SCCs -- checks the claimed solution to
 MST degradation: the first two classes never degrade with q = 1
 whatever the relay placement; the general class does degrade and needs
 real queue sizing.
+
+Per-sample analyses are independent, so the whole table fans out
+through the analysis engine: ``--jobs 4`` parallelizes it, ``--cache``
+makes re-runs nearly free.  ``REPRO_BENCH_SAMPLES`` shrinks the sample
+count for smoke runs (CI uses 4).
 """
 
+import os
 import random
 
-from repro.core import (
-    TopologyClass,
-    actual_mst,
-    classify_topology,
-    ideal_mst,
-    size_queues,
-)
+from repro.core import TopologyClass
 from repro.core.lis_graph import LisGraph
 from repro.experiments import render_table
 from repro.gen import GeneratorConfig, generate_lis, tree_lis
@@ -67,23 +67,22 @@ CLASSES = [
     ),
 ]
 
-SAMPLES = 12
+SAMPLES = int(os.environ.get("REPRO_BENCH_SAMPLES", "12"))
 
 
-def test_table2_topology_classes(benchmark, publish):
+def test_table2_topology_classes(benchmark, publish, engine):
     def run_all():
         rows = []
         for label, factory, expected in CLASSES:
+            systems = [factory(seed=1000 + i) for i in range(SAMPLES)]
+            reports = engine.map("analyze", systems)
             degraded = 0
             fixed_by_qs = 0
-            for i in range(SAMPLES):
-                lis = factory(seed=1000 + i)
-                assert classify_topology(lis) is expected, label
-                ideal = ideal_mst(lis).mst
-                practical = actual_mst(lis).mst
-                if practical < ideal:
+            for report in reports:
+                assert report.topology is expected, label
+                if report.degraded:
                     degraded += 1
-                    if size_queues(lis).restores_target:
+                    if report.fix is not None and report.fix.restores_target:
                         fixed_by_qs += 1
             rows.append(
                 {
@@ -126,4 +125,16 @@ def test_table2_topology_classes(benchmark, publish):
                 f"solutions ({SAMPLES} random systems each)"
             ),
         ),
+        data={
+            "samples": SAMPLES,
+            "rows": [
+                {
+                    "label": r["label"],
+                    "class": r["class"].value,
+                    "degraded": r["degraded"],
+                    "fixed": r["fixed"],
+                }
+                for r in rows
+            ],
+        },
     )

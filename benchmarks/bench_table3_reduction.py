@@ -72,4 +72,20 @@ def test_table3_reduction(benchmark, publish):
             rows,
             title="Reduction check: optimal QS cost == minimum vertex cover",
         ),
+        data={
+            "pblocks": {
+                name: {"tokens": block.tokens, "places": block.places}
+                for name, block in PBLOCK_TABLE.items()
+            },
+            "reduction_checks": [
+                {
+                    "instance": name,
+                    "edges": edges,
+                    "min_cover": vc,
+                    "qs_tokens": cost,
+                    "mst": mst,
+                }
+                for name, edges, vc, cost, mst in rows
+            ],
+        },
     )

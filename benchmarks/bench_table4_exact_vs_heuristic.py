@@ -17,12 +17,12 @@ from repro.experiments import (
 )
 
 
-def test_table4_exact_vs_heuristic(benchmark, publish):
+def test_table4_exact_vs_heuristic(benchmark, publish, engine):
     n_trials = trials()
     timeout = exact_timeout()
     rows = benchmark.pedantic(
         lambda: table4_exact_vs_heuristic(
-            trials=n_trials, exact_timeout=timeout
+            trials=n_trials, exact_timeout=timeout, engine=engine
         ),
         rounds=1,
         iterations=1,
@@ -51,4 +51,21 @@ def test_table4_exact_vs_heuristic(benchmark, publish):
                 f"({n_trials} trials, exact timeout {timeout:.0f}s)"
             ),
         ),
+        data={
+            "trials": n_trials,
+            "exact_timeout_s": timeout,
+            "rows": [
+                {
+                    "v": row.v,
+                    "s": row.s,
+                    "c": row.c,
+                    "avg_edges": row.avg_edges,
+                    "avg_inter_scc_edges": row.avg_inter_scc_edges,
+                    "exact_solutions": row.exact_solutions,
+                    "heuristic_solutions": row.heuristic_solutions_finished,
+                    "unfinished": len(row.heuristic_solutions_unfinished),
+                }
+                for row in rows
+            ],
+        },
     )

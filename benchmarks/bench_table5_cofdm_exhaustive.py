@@ -13,11 +13,13 @@ from repro.experiments import cofdm_limit, exact_timeout, render_table
 from repro.soc import PAPER_REPORTED, run_exhaustive_insertion
 
 
-def test_table5_cofdm_exhaustive(benchmark, publish):
+def test_table5_cofdm_exhaustive(benchmark, publish, engine):
     limit = cofdm_limit()
     timeout = exact_timeout()
     report = benchmark.pedantic(
-        lambda: run_exhaustive_insertion(exact_timeout=timeout, limit=limit),
+        lambda: run_exhaustive_insertion(
+            exact_timeout=timeout, limit=limit, engine=engine
+        ),
         rounds=1,
         iterations=1,
     )
@@ -136,4 +138,10 @@ def test_table5_cofdm_exhaustive(benchmark, publish):
                 + ")"
             ),
         ),
+        data={
+            "limit": limit,
+            "exact_timeout_s": timeout,
+            "summary": summary,
+            "single_relay_q2_degradations": len(single_q2.degraded),
+        },
     )

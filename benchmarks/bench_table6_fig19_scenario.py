@@ -65,4 +65,14 @@ def test_table6_fig19_scenario(benchmark, publish):
             rows,
             title="Table VI - potential critical cycles for the Fig. 19 scenario",
         ),
+        data={
+            "ideal_mst": FIG19_IDEAL_MST,
+            "degraded_mst": actual_mst(scenario).mst,
+            "deficient_cycles": [
+                {"blocks": list(blocks_of(r)), "mean": r.mean}
+                for r in records
+            ],
+            "fix_cost": solution.cost,
+            "fix_achieved": solution.achieved,
+        },
     )

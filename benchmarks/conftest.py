@@ -2,20 +2,64 @@
 
 Each benchmark regenerates one table or figure of the paper, times its
 computational kernel via pytest-benchmark, prints the regenerated
-artifact, and persists it under ``benchmarks/results/``.
+artifact (plus a machine-readable JSON line), and persists both under
+``benchmarks/results/``.
+
+The suite runs through the analysis engine; parallelism and caching
+are controlled from the command line (or environment)::
+
+    pytest benchmarks/bench_table2_topologies.py --jobs 4 --cache .repro-cache
 """
+
+import os
 
 import pytest
 
 
+def pytest_addoption(parser):
+    group = parser.getgroup("repro")
+    group.addoption(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", "0")) or None,
+        help="worker processes for the analysis engine (default: serial)",
+    )
+    group.addoption(
+        "--cache",
+        default=os.environ.get("REPRO_CACHE") or None,
+        help="analysis-engine result cache directory",
+    )
+
+
+@pytest.fixture
+def engine(request, capsys):
+    """One AnalysisEngine per benchmark, configured from --jobs/--cache;
+    its cache/timing stats are printed when the benchmark finishes."""
+    from repro.engine import AnalysisEngine
+
+    eng = AnalysisEngine(
+        jobs=request.config.getoption("--jobs"),
+        cache_dir=request.config.getoption("--cache"),
+    )
+    yield eng
+    stats = eng.stats
+    eng.close()
+    if stats.tasks:
+        with capsys.disabled():
+            print(f"\n[engine] jobs={eng.jobs}\n{stats.render()}")
+
+
 @pytest.fixture
 def publish(capsys):
-    """Print a rendered table (bypassing capture) and persist it."""
-    from repro.experiments import save_result
+    """Print a rendered table (bypassing capture) and persist it, plus
+    a machine-readable JSON line under ``results/<name>.json``."""
+    from repro.experiments import save_result, save_result_json
 
-    def _publish(name: str, text: str) -> None:
+    def _publish(name: str, text: str, data: dict | None = None) -> None:
         save_result(name, text)
+        line = save_result_json(name, data)
         with capsys.disabled():
             print(f"\n{text}\n[saved to benchmarks/results/{name}.txt]")
+            print(line)
 
     return _publish

@@ -31,47 +31,67 @@ Subpackages:
 * :mod:`repro.gen` -- the Section VIII random generator and every
   worked example from the paper's figures.
 * :mod:`repro.soc` -- the COFDM UWB transmitter case study.
+* :mod:`repro.engine` -- the batch analysis engine: process-pool
+  fan-out, content-hash memoization, per-op observability.
 * :mod:`repro.experiments` -- shared experiment harness used by the
   ``benchmarks/`` suite.
 """
 
 from .core import (
+    AnalysisReport,
     LisGraph,
     MarkedGraph,
     QsSolution,
+    Solver,
     ThroughputResult,
+    TopologyClass,
     actual_mst,
+    analyze,
+    available_solvers,
     classify_topology,
     degradation_ratio,
     fixed_qs_mst,
+    get_solver,
     ideal_mst,
     minimal_fixed_q,
     mst,
+    register_solver,
     size_queues,
 )
+from .engine import AnalysisEngine, EngineStats, analyze_many
 from .gen import GeneratorConfig, generate_lis
 from .lis import RtlSimulator, ShellBehavior, TraceSimulator, simulate_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnalysisEngine",
+    "AnalysisReport",
+    "EngineStats",
+    "GeneratorConfig",
     "LisGraph",
     "MarkedGraph",
     "QsSolution",
+    "RtlSimulator",
+    "ShellBehavior",
+    "Solver",
     "ThroughputResult",
+    "TopologyClass",
+    "TraceSimulator",
     "actual_mst",
+    "analyze",
+    "analyze_many",
+    "available_solvers",
     "classify_topology",
     "degradation_ratio",
     "fixed_qs_mst",
+    "generate_lis",
+    "get_solver",
     "ideal_mst",
     "minimal_fixed_q",
     "mst",
-    "size_queues",
-    "GeneratorConfig",
-    "generate_lis",
-    "RtlSimulator",
-    "ShellBehavior",
-    "TraceSimulator",
+    "register_solver",
     "simulate_trace",
+    "size_queues",
     "__version__",
 ]

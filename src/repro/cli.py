@@ -3,12 +3,16 @@
 Gives the library's analysis pipeline a shell-scriptable surface:
 
 * ``analyze``  -- topology class, ideal/practical MST, critical cycle;
-* ``size``     -- queue sizing (heuristic / exact / milp);
+  accepts many files and fans out with ``--jobs N``, memoizes with
+  ``--cache DIR``;
+* ``size``     -- queue sizing (any registered solver);
 * ``generate`` -- the Section VIII random generator, to a JSON file;
 * ``simulate`` -- empirical throughput from either simulator;
 * ``example``  -- dump one of the paper's named example systems;
 * ``dot``      -- Graphviz rendering of the system or its doubled
-  marked graph.
+  marked graph;
+* ``stats``    -- analysis-engine cache statistics for a ``--cache``
+  directory.
 
 LIS descriptions use the JSON format of :mod:`repro.core.serialize`.
 """
@@ -22,7 +26,6 @@ from fractions import Fraction
 from .core import (
     actual_mst,
     classify_topology,
-    ideal_mst,
     relay_placement,
     size_queues,
 )
@@ -49,11 +52,40 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser("analyze", help="MST and topology analysis")
-    analyze.add_argument("file", help="LIS JSON description")
+    analyze.add_argument(
+        "files", nargs="+", metavar="file", help="LIS JSON description(s)"
+    )
     analyze.add_argument(
         "--full",
         action="store_true",
         help="per-channel bottleneck/slack report plus the recommended fix",
+    )
+    analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan analyses out over N worker processes",
+    )
+    analyze.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="content-hash result cache directory (e.g. .repro-cache)",
+    )
+    analyze.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine cache/timing stats after the analyses",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="analysis-engine cache statistics"
+    )
+    stats.add_argument(
+        "--cache",
+        default=".repro-cache",
+        metavar="DIR",
+        help="cache directory to inspect (default: .repro-cache)",
     )
 
     size = sub.add_parser("size", help="queue sizing")
@@ -104,16 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_analyze(args) -> int:
-    lis = load_lis(args.file)
-    if args.full:
-        from .core.report import analyze as full_analyze
-
-        report = full_analyze(lis)
-        print(report.render(lis))
-        return 0
-    ideal = ideal_mst(lis)
-    practical = actual_mst(lis)
+def _print_analysis(lis, ideal, practical) -> None:
     print(f"shells:          {lis.system.number_of_nodes()}")
     print(f"channels:        {len(lis.channels())}")
     print(f"relay stations:  {lis.total_relays()}")
@@ -128,6 +151,66 @@ def _cmd_analyze(args) -> int:
         print("verdict:         DEGRADED by backpressure (try `repro size`)")
     else:
         print("verdict:         no backpressure degradation")
+
+
+def _cmd_analyze(args) -> int:
+    from .engine import AnalysisEngine
+
+    systems = [(path, load_lis(path)) for path in args.files]
+    with AnalysisEngine(jobs=args.jobs, cache_dir=args.cache) as engine:
+        if args.full:
+            reports = engine.map("analyze", [lis for _, lis in systems])
+            for (path, lis), report in zip(systems, reports):
+                if len(systems) > 1:
+                    print(f"== {path}")
+                print(report.render(lis))
+        else:
+            ideals = engine.map("ideal_mst", [lis for _, lis in systems])
+            practicals = engine.map(
+                "actual_mst", [lis for _, lis in systems]
+            )
+            for (path, lis), ideal, practical in zip(
+                systems, ideals, practicals
+            ):
+                if len(systems) > 1:
+                    print(f"== {path}")
+                _print_analysis(lis, ideal, practical)
+        if args.stats:
+            print()
+            print(engine.stats.render())
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from .engine import DiskCache
+    from pathlib import Path
+
+    directory = Path(args.cache)
+    if not directory.is_dir():
+        print(f"no cache directory at {directory}", file=sys.stderr)
+        return 2
+    disk = DiskCache(directory)
+    entries = disk.entries()
+    print(f"cache:   {directory}")
+    print(f"entries: {sum(entries.values())}")
+    print(f"bytes:   {disk.total_bytes()}")
+    for op in sorted(entries):
+        print(f"  {op:<22} {entries[op]}")
+    stats = disk.read_stats()
+    if stats:
+        print("cumulative engine counters (stats.json):")
+        print(f"  batches: {stats.get('batches', 0)}")
+        print(f"  tasks:   {stats.get('tasks', 0)}")
+        print(f"  wall:    {stats.get('wall_seconds', 0.0):.3f}s")
+        for op, counters in sorted((stats.get("ops") or {}).items()):
+            print(
+                f"  {op:<22} calls={counters.get('calls', 0)}"
+                f" hits={counters.get('hits', 0)}"
+                f" disk_hits={counters.get('disk_hits', 0)}"
+                f" misses={counters.get('misses', 0)}"
+                f" solver_calls={counters.get('solver_calls', 0)}"
+                f" seconds={counters.get('seconds', 0.0):.3f}"
+            )
     return 0
 
 
@@ -266,6 +349,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "example": _cmd_example,
     "dot": _cmd_dot,
+    "stats": _cmd_stats,
 }
 
 

@@ -1,36 +1,51 @@
 """Queue-sizing solvers: the heuristic and exact algorithms of Section
 VII-B plus fixed uniform sizing, behind one high-level entry point.
 
-:func:`size_queues` is the API most callers want: it builds the
-token-deficit instance (optionally collapsing SCCs first, per the
-paper's rule-4 simplification), runs the requested solver, maps the
-solution back to channels of the original system, and verifies that the
-restored MST matches the target.
+:func:`size_queues` is the API most callers want; it dispatches to a
+named algorithm through the solver registry (:func:`get_solver` /
+:func:`register_solver`), so external solvers plug in uniformly.  All
+``solve_td_*`` entrypoints share one normalized keyword set --
+``target``, ``timeout``, ``max_cycles``, ``collapse`` -- when given a
+:class:`~repro.core.lis_graph.LisGraph`; the older instance-passing
+signatures keep working behind :class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from fractions import Fraction
-
-from ..cycles import collapse_sccs, is_collapsible
-from ..lis_graph import LisGraph
-from ..throughput import actual_mst, ideal_mst
-from ..token_deficit import InfeasibleError, build_td_instance
-from .exact import ExactOutcome, ExactTimeout, solve_td_exact
+from ..token_deficit import InfeasibleError
+from .exact import (
+    ExactOutcome,
+    ExactTimeout,
+    solve_td_exact,
+    solve_td_exact_instance,
+)
+from .facade import QsSolution, size_queues
 from .fixed import fixed_qs_mst, fixed_qs_profile, minimal_fixed_q
-from .greedy import solve_td_greedy
-from .heuristic import solve_td_heuristic
-from .milp import MilpOutcome, lp_lower_bound, solve_td_milp
+from .greedy import solve_td_greedy, solve_td_greedy_instance
+from .heuristic import solve_td_heuristic, solve_td_heuristic_instance
+from .milp import (
+    MilpOutcome,
+    lp_lower_bound,
+    solve_td_milp,
+    solve_td_milp_instance,
+)
+from .registry import Solver, available_solvers, get_solver, register_solver
 
 __all__ = [
     "QsSolution",
     "size_queues",
+    "Solver",
+    "available_solvers",
+    "get_solver",
+    "register_solver",
     "solve_td_heuristic",
+    "solve_td_heuristic_instance",
     "solve_td_greedy",
+    "solve_td_greedy_instance",
     "solve_td_exact",
+    "solve_td_exact_instance",
     "solve_td_milp",
+    "solve_td_milp_instance",
     "lp_lower_bound",
     "ExactOutcome",
     "ExactTimeout",
@@ -40,135 +55,3 @@ __all__ = [
     "fixed_qs_profile",
     "minimal_fixed_q",
 ]
-
-
-@dataclass(frozen=True)
-class QsSolution:
-    """A queue-sizing result.
-
-    Attributes:
-        extra_tokens: Channel id -> extra queue slots (tokens added to
-            that channel's shell-side backedge), in terms of the
-            *original* system's channel ids.
-        cost: Total extra tokens.
-        target: The throughput the solution restores.
-        achieved: The verified MST of the doubled graph with the
-            solution applied.
-        method: ``"heuristic"`` or ``"exact"``.
-        simplified: Whether the SCC collapse was applied.
-        cycles_enumerated: Deficient cycles the solver reasoned about.
-        elapsed: Solver wall-clock time in seconds (excluding cycle
-            enumeration, matching the paper's CPU-time accounting).
-        enumeration_elapsed: Cycle-enumeration wall-clock time.
-    """
-
-    extra_tokens: dict[int, int]
-    cost: int
-    target: Fraction
-    achieved: Fraction
-    method: str
-    simplified: bool = False
-    cycles_enumerated: int = 0
-    elapsed: float = 0.0
-    enumeration_elapsed: float = 0.0
-    stats: dict = field(default_factory=dict)
-
-    @property
-    def restores_target(self) -> bool:
-        return self.achieved >= self.target
-
-
-def size_queues(
-    lis: LisGraph,
-    method: str = "heuristic",
-    target: Fraction | None = None,
-    collapse: str = "auto",
-    timeout: float | None = None,
-    max_cycles: int | None = None,
-    verify: bool = True,
-) -> QsSolution:
-    """Size the queues of ``lis`` to eliminate MST degradation.
-
-    Args:
-        lis: The system (queues as configured form the baseline).
-        method: ``"heuristic"`` (Section VII-B descent), ``"greedy"``
-            (set-cover marginal coverage), ``"exact"`` (binary search +
-            branch and bound), or ``"milp"`` (the Lu--Koh-style LP
-            branch and bound; needs scipy).  The latter two may raise
-            :class:`ExactTimeout`.
-        target: Throughput to restore; default = the ideal MST.
-        collapse: ``"auto"`` collapses SCCs when the topology allows it
-            (relay stations only between SCCs), ``"never"`` works on
-            the full graph, ``"always"`` requires collapsibility.
-        timeout: Wall-clock budget for the exact solver.
-        max_cycles: Cycle-enumeration budget (raises
-            :class:`~repro.graphs.CycleExplosionError` beyond it).
-        verify: Re-analyze the doubled graph with the solution applied
-            and record the achieved MST (cheap; disable only in tight
-            benchmarking loops).
-
-    Returns:
-        A :class:`QsSolution` whose ``extra_tokens`` refer to channels
-        of the input system.
-    """
-    if method not in ("heuristic", "greedy", "exact", "milp"):
-        raise ValueError(f"unknown method {method!r}")
-    if collapse not in ("auto", "never", "always"):
-        raise ValueError(f"unknown collapse mode {collapse!r}")
-
-    goal = target if target is not None else ideal_mst(lis).mst
-    if not 0 < goal <= 1:
-        raise ValueError(
-            f"target throughput must be in (0, 1], got {goal}"
-        )
-
-    use_collapse = (
-        collapse == "always"
-        or (collapse == "auto" and is_collapsible(lis))
-    )
-    channel_map: dict[int, int] | None = None
-    work = lis
-    if use_collapse:
-        work, channel_map = collapse_sccs(lis)
-
-    t0 = time.monotonic()
-    instance = build_td_instance(
-        work, target=goal, max_cycles=max_cycles, simplify=True
-    )
-    t1 = time.monotonic()
-    if method == "heuristic":
-        weights = solve_td_heuristic(instance)
-        stats = {}
-    elif method == "greedy":
-        weights = solve_td_greedy(instance)
-        stats = {}
-    elif method == "exact":
-        outcome = solve_td_exact(instance, timeout=timeout)
-        weights = outcome.weights
-        stats = {"nodes_explored": outcome.nodes_explored}
-    else:
-        milp = solve_td_milp(instance, timeout=timeout)
-        weights = milp.weights
-        stats = {
-            "nodes_explored": milp.nodes_explored,
-            "lp_bound": milp.lp_bound,
-        }
-    t2 = time.monotonic()
-
-    merged = instance.merge_forced(weights)
-    if channel_map is not None:
-        merged = {channel_map[cid]: tokens for cid, tokens in merged.items()}
-
-    achieved = actual_mst(lis, merged).mst if verify else goal
-    return QsSolution(
-        extra_tokens=merged,
-        cost=sum(merged.values()),
-        target=goal,
-        achieved=achieved,
-        method=method,
-        simplified=use_collapse,
-        cycles_enumerated=len(instance.cycles),
-        elapsed=t2 - t1,
-        enumeration_elapsed=t1 - t0,
-        stats=stats,
-    )

@@ -1,0 +1,76 @@
+"""Entrypoint normalization for the ``solve_td_*`` family.
+
+Every public solver entrypoint accepts the same keyword set --
+``target``, ``timeout``, ``max_cycles``, ``collapse`` (plus
+``verify``) -- and understands two first arguments:
+
+* a :class:`~repro.core.lis_graph.LisGraph`: the normalized path.  The
+  token-deficit instance is built internally (honouring ``target``,
+  ``max_cycles`` and ``collapse``) and a full
+  :class:`~repro.core.solvers.QsSolution` comes back;
+* a :class:`~repro.core.token_deficit.TokenDeficitInstance`: the
+  pre-registry signature, kept working through this shim but reported
+  with a :class:`DeprecationWarning` -- instance-level callers should
+  move to ``get_solver(name).solve_instance(...)``.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+
+_UNIFIED = ("target", "timeout", "max_cycles", "collapse", "verify")
+
+
+def solver_entrypoint(name: str):
+    """Decorator turning a legacy instance solver into a normalized
+    entrypoint (see module docstring)."""
+
+    def decorate(legacy_fn):
+        legacy_params = frozenset(
+            inspect.signature(legacy_fn).parameters
+        )
+
+        @functools.wraps(legacy_fn)
+        def wrapper(system, *args, **kwargs):
+            from ..token_deficit import TokenDeficitInstance
+
+            if isinstance(system, TokenDeficitInstance):
+                warnings.warn(
+                    f"passing a TokenDeficitInstance to solve_td_{name}() "
+                    f"is deprecated; use "
+                    f"get_solver({name!r}).solve_instance(instance) or "
+                    f"pass the LisGraph itself",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                # Uniform keywords the legacy body has no use for
+                # (e.g. ``timeout`` on the heuristic) are accepted and
+                # dropped; everything else goes through unchanged.
+                kwargs = {
+                    k: v
+                    for k, v in kwargs.items()
+                    if k in legacy_params or k not in _UNIFIED
+                }
+                return legacy_fn(system, *args, **kwargs)
+
+            if args:
+                raise TypeError(
+                    f"solve_td_{name}() takes keyword-only options "
+                    f"({', '.join(_UNIFIED)}) when given a LisGraph"
+                )
+            unknown = set(kwargs) - set(_UNIFIED)
+            if unknown:
+                raise TypeError(
+                    f"solve_td_{name}() got unexpected keyword(s) "
+                    f"{sorted(unknown)}; the normalized set is "
+                    f"{', '.join(_UNIFIED)}"
+                )
+            from .facade import size_queues
+
+            return size_queues(system, method=name, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -22,8 +22,14 @@ import time
 from dataclasses import dataclass
 
 from .. import token_deficit as td
+from ._compat import solver_entrypoint
 
-__all__ = ["ExactOutcome", "ExactTimeout", "solve_td_exact"]
+__all__ = [
+    "ExactOutcome",
+    "ExactTimeout",
+    "solve_td_exact",
+    "solve_td_exact_instance",
+]
 
 
 class ExactTimeout(Exception):
@@ -102,6 +108,18 @@ def _feasible_with_budget(
     return None
 
 
+def solve_td_exact_instance(
+    instance: td.TokenDeficitInstance,
+    *,
+    timeout: float | None = None,
+    upper_bound: int | None = None,
+) -> tuple[dict[int, int], dict]:
+    """Normalized registry signature: ``(weights, stats)``."""
+    outcome = _search(instance, upper_bound=upper_bound, timeout=timeout)
+    return outcome.weights, {"nodes_explored": outcome.nodes_explored}
+
+
+@solver_entrypoint("exact")
 def solve_td_exact(
     instance: td.TokenDeficitInstance,
     upper_bound: int | None = None,
@@ -109,17 +127,31 @@ def solve_td_exact(
 ) -> ExactOutcome:
     """Minimum-cost solution of a TD instance's residual problem.
 
+    Normalized entrypoint: pass a LisGraph plus any of ``target``,
+    ``timeout``, ``max_cycles``, ``collapse`` for a
+    :class:`~repro.core.solvers.QsSolution`; the instance-passing
+    signature below is deprecated (see
+    :mod:`repro.core.solvers.registry`).
+
     Args:
         instance: The (ideally simplified) TD instance.
         upper_bound: A known-feasible cost; defaults to the heuristic
             solution's cost, as in the paper.
         timeout: Optional wall-clock limit in seconds; on expiry
             :class:`ExactTimeout` is raised.
+    """
+    return _search(instance, upper_bound=upper_bound, timeout=timeout)
 
-    Binary-searches K in ``[max residual deficit, upper bound]`` --
+
+def _search(
+    instance: td.TokenDeficitInstance,
+    upper_bound: int | None = None,
+    timeout: float | None = None,
+) -> ExactOutcome:
+    """Binary-search K in ``[max residual deficit, upper bound]`` --
     feasibility is monotone in K, so the standard bisection applies.
     """
-    from .heuristic import solve_td_heuristic
+    from .heuristic import _descend
 
     deadline = None if timeout is None else time.monotonic() + timeout
     counter = [0]
@@ -128,7 +160,7 @@ def solve_td_exact(
         return ExactOutcome(weights={}, cost=0, nodes_explored=0)
 
     if upper_bound is None:
-        upper_bound = sum(solve_td_heuristic(instance).values())
+        upper_bound = sum(_descend(instance).values())
 
     # No single cycle can be fixed with fewer tokens than its deficit.
     low = max(instance.deficits.values())

@@ -12,16 +12,39 @@ two greedy philosophies against the exact optimum.
 from __future__ import annotations
 
 from .. import token_deficit as td
+from ._compat import solver_entrypoint
 
-__all__ = ["solve_td_greedy"]
+__all__ = ["solve_td_greedy", "solve_td_greedy_instance"]
 
 
+def solve_td_greedy_instance(
+    instance: td.TokenDeficitInstance, *, timeout: float | None = None
+) -> tuple[dict[int, int], dict]:
+    """Normalized registry signature: ``(weights, stats)``.
+
+    ``timeout`` is accepted for signature uniformity but not consulted
+    (the cover loop terminates in at most total-deficit iterations).
+    """
+    return _cover(instance), {}
+
+
+@solver_entrypoint("greedy")
 def solve_td_greedy(instance: td.TokenDeficitInstance) -> dict[int, int]:
     """Residual-problem weights found by greedy marginal coverage.
 
-    Each iteration grants one token to the channel covering the largest
-    number of cycles with positive residual deficit (ties broken by the
-    smallest channel id, for determinism), until nothing is deficient.
+    Normalized entrypoint: pass a LisGraph plus any of ``target``,
+    ``timeout``, ``max_cycles``, ``collapse`` for a
+    :class:`~repro.core.solvers.QsSolution`; the instance-passing
+    signature is deprecated (see :mod:`repro.core.solvers.registry`).
+    """
+    return _cover(instance)
+
+
+def _cover(instance: td.TokenDeficitInstance) -> dict[int, int]:
+    """Each iteration grants one token to the channel covering the
+    largest number of cycles with positive residual deficit (ties
+    broken by the smallest channel id, for determinism), until nothing
+    is deficient.
     """
     residual = dict(instance.deficits)
     weights: dict[int, int] = {}

@@ -15,17 +15,39 @@ each edge.
 from __future__ import annotations
 
 from .. import token_deficit as td
+from ._compat import solver_entrypoint
 
-__all__ = ["solve_td_heuristic"]
+__all__ = ["solve_td_heuristic", "solve_td_heuristic_instance"]
 
 
+def solve_td_heuristic_instance(
+    instance: td.TokenDeficitInstance, *, timeout: float | None = None
+) -> tuple[dict[int, int], dict]:
+    """Normalized registry signature: ``(weights, stats)``.
+
+    The descent always terminates quickly, so ``timeout`` is accepted
+    for signature uniformity but not consulted.
+    """
+    return _descend(instance), {}
+
+
+@solver_entrypoint("heuristic")
 def solve_td_heuristic(instance: td.TokenDeficitInstance) -> dict[int, int]:
     """Residual-problem weights found by the greedy descent.
 
-    Returns ``{channel id: extra tokens}`` over the instance's residual
+    Normalized entrypoint: pass a :class:`~repro.core.lis_graph.LisGraph`
+    plus any of ``target``, ``timeout``, ``max_cycles``, ``collapse``
+    to get a :class:`~repro.core.solvers.QsSolution`.  Passing a
+    :class:`TokenDeficitInstance` (the pre-registry signature) still
+    returns ``{channel id: extra tokens}`` over the instance's residual
     problem (forced weights are *not* included; merge with
-    :meth:`TokenDeficitInstance.merge_forced`).
+    :meth:`TokenDeficitInstance.merge_forced`) but is deprecated --
+    use ``get_solver("heuristic").solve_instance(...)``.
     """
+    return _descend(instance)
+
+
+def _descend(instance: td.TokenDeficitInstance) -> dict[int, int]:
     if instance.is_trivial:
         return {}
 

@@ -27,9 +27,15 @@ import time
 from dataclasses import dataclass
 
 from .. import token_deficit as td
+from ._compat import solver_entrypoint
 from .exact import ExactTimeout
 
-__all__ = ["MilpOutcome", "lp_lower_bound", "solve_td_milp"]
+__all__ = [
+    "MilpOutcome",
+    "lp_lower_bound",
+    "solve_td_milp",
+    "solve_td_milp_instance",
+]
 
 _EPS = 1e-6
 
@@ -99,13 +105,39 @@ def lp_lower_bound(instance: td.TokenDeficitInstance) -> float:
     return float(result.fun)
 
 
+def solve_td_milp_instance(
+    instance: td.TokenDeficitInstance,
+    *,
+    timeout: float | None = None,
+) -> tuple[dict[int, int], dict]:
+    """Normalized registry signature: ``(weights, stats)``."""
+    outcome = _branch_and_bound(instance, timeout=timeout)
+    return outcome.weights, {
+        "nodes_explored": outcome.nodes_explored,
+        "lp_bound": outcome.lp_bound,
+    }
+
+
+@solver_entrypoint("milp")
 def solve_td_milp(
     instance: td.TokenDeficitInstance,
     timeout: float | None = None,
 ) -> MilpOutcome:
     """Minimum-cost integer solution via LP-based branch and bound.
 
-    Branches on the most fractional variable of each relaxation;
+    Normalized entrypoint: pass a LisGraph plus any of ``target``,
+    ``timeout``, ``max_cycles``, ``collapse`` for a
+    :class:`~repro.core.solvers.QsSolution`; the instance-passing
+    signature is deprecated (see :mod:`repro.core.solvers.registry`).
+    """
+    return _branch_and_bound(instance, timeout=timeout)
+
+
+def _branch_and_bound(
+    instance: td.TokenDeficitInstance,
+    timeout: float | None = None,
+) -> MilpOutcome:
+    """Branches on the most fractional variable of each relaxation;
     prunes with ``ceil(LP value) >= incumbent``.  Raises
     :class:`~repro.core.solvers.exact.ExactTimeout` on expiry of
     ``timeout`` (wall-clock seconds).
@@ -118,9 +150,9 @@ def solve_td_milp(
     deadline = None if timeout is None else time.monotonic() + timeout
 
     # Incumbent from the trivially feasible per-channel max assignment.
-    from .heuristic import solve_td_heuristic
+    from .heuristic import _descend
 
-    incumbent = solve_td_heuristic(instance)
+    incumbent = _descend(instance)
     best_cost = sum(incumbent.values())
     best = {ch: incumbent.get(ch, 0) for ch in channels}
 

@@ -1,0 +1,154 @@
+"""The queue-sizing solver registry.
+
+Every solver is registered under a short name with one normalized
+instance-level signature::
+
+    fn(instance: TokenDeficitInstance, *, timeout: float | None = None)
+        -> tuple[dict[int, int], dict]
+
+returning the residual weights plus a stats dict (``nodes_explored``,
+``lp_bound``, ... -- solver specific).  :func:`get_solver` is the one
+lookup used by :func:`~repro.core.solvers.size_queues`, the analysis
+engine, and the benchmarks; third-party solvers plug in through
+:func:`register_solver` and immediately work everywhere a method name
+is accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from .exact import solve_td_exact_instance
+from .greedy import solve_td_greedy_instance
+from .heuristic import solve_td_heuristic_instance
+from .milp import solve_td_milp_instance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from fractions import Fraction
+
+    from ..lis_graph import LisGraph
+    from ..token_deficit import TokenDeficitInstance
+
+__all__ = ["Solver", "available_solvers", "get_solver", "register_solver"]
+
+InstanceSolver = Callable[..., "tuple[dict[int, int], dict]"]
+
+
+@dataclass(frozen=True)
+class Solver:
+    """A named queue-sizing algorithm.
+
+    Attributes:
+        name: Registry key (``size_queues(..., method=name)``).
+        fn: The normalized instance-level solver.
+        description: One-line summary shown by diagnostics.
+        supports_timeout: Whether ``timeout`` is honoured (purely
+            informational; every registered ``fn`` must *accept* it).
+    """
+
+    name: str
+    fn: InstanceSolver = field(repr=False)
+    description: str = ""
+    supports_timeout: bool = False
+
+    def solve_instance(
+        self,
+        instance: "TokenDeficitInstance",
+        *,
+        timeout: float | None = None,
+    ) -> tuple[dict[int, int], dict]:
+        """Solve a token-deficit instance's residual problem.
+
+        Returns ``(weights, stats)``; forced weights are not included
+        (merge with :meth:`TokenDeficitInstance.merge_forced`).
+        """
+        return self.fn(instance, timeout=timeout)
+
+    def solve(
+        self,
+        lis: "LisGraph",
+        *,
+        target: "Fraction | None" = None,
+        timeout: float | None = None,
+        max_cycles: int | None = None,
+        collapse: str = "auto",
+        verify: bool = True,
+    ):
+        """Size the queues of ``lis`` with this solver (the normalized
+        keyword set shared by every entrypoint); returns a
+        :class:`~repro.core.solvers.QsSolution`."""
+        from .facade import size_queues
+
+        return size_queues(
+            lis,
+            method=self.name,
+            target=target,
+            timeout=timeout,
+            max_cycles=max_cycles,
+            collapse=collapse,
+            verify=verify,
+        )
+
+
+_REGISTRY: dict[str, Solver] = {}
+
+
+def register_solver(
+    name: str,
+    fn: InstanceSolver,
+    description: str = "",
+    supports_timeout: bool = False,
+    overwrite: bool = False,
+) -> Solver:
+    """Register ``fn`` under ``name``; returns the :class:`Solver`."""
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"solver {name!r} already registered")
+    solver = Solver(
+        name=name,
+        fn=fn,
+        description=description,
+        supports_timeout=supports_timeout,
+    )
+    _REGISTRY[name] = solver
+    return solver
+
+
+def get_solver(name: str) -> Solver:
+    """Look up a registered solver by name (ValueError when unknown)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown method {name!r} (available: {known})"
+        ) from None
+
+
+def available_solvers() -> tuple[str, ...]:
+    """Registered solver names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_solver(
+    "heuristic",
+    solve_td_heuristic_instance,
+    description="Section VII-B decrement-and-test descent",
+)
+register_solver(
+    "greedy",
+    solve_td_greedy_instance,
+    description="textbook set-cover marginal coverage",
+)
+register_solver(
+    "exact",
+    solve_td_exact_instance,
+    description="binary search + branch and bound (optimal)",
+    supports_timeout=True,
+)
+register_solver(
+    "milp",
+    solve_td_milp_instance,
+    description="LP-based branch and bound (needs scipy)",
+    supports_timeout=True,
+)

@@ -1,0 +1,170 @@
+"""Content-addressed result caching for the analysis engine.
+
+Keys are SHA-256 hashes over the *serialized* LIS (the canonical JSON
+of :mod:`repro.core.serialize`), the operation name, and the
+canonicalized option set.  Because the key is derived from content,
+mutating a system (``set_queue``, ``insert_relay``) changes its
+serialization and therefore never aliases a stale entry -- there is no
+explicit invalidation protocol to get wrong.
+
+Two layers:
+
+* :class:`LruCache` -- in-memory, bounded, per-engine;
+* :class:`DiskCache` -- optional pickle files under a cache directory,
+  shared between runs and processes (written atomically via rename).
+
+The disk layer uses :mod:`pickle`: treat a cache directory like any
+other local build artifact and do not point the engine at an
+untrusted one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from fractions import Fraction
+from pathlib import Path
+from typing import Any
+
+__all__ = ["DiskCache", "LruCache", "canonical_options", "content_key"]
+
+_KEY_VERSION = "repro-engine-v1"
+
+
+def _json_default(value: Any) -> str:
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    return str(value)
+
+
+def canonical_options(options: dict | None) -> str:
+    """Deterministic JSON text for an option dict (Fractions included)."""
+    return json.dumps(
+        options or {},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_json_default,
+    )
+
+
+def content_key(op: str, lis_json: str, options: dict | None) -> str:
+    """The cache key: hash of (engine version, op, options, system)."""
+    digest = hashlib.sha256()
+    for part in (_KEY_VERSION, op, canonical_options(options), lis_json):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class LruCache:
+    """A small LRU mapping key -> result, with hit/miss counts kept by
+    the owning engine (this class only stores)."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = max(0, maxsize)
+        self._data: OrderedDict[str, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str) -> Any:
+        """The stored value, promoted to most-recent; KeyError on miss."""
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def put(self, key: str, value: Any) -> None:
+        if self.maxsize == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+class DiskCache:
+    """Pickle-per-entry cache directory; file names carry the op name
+    so ``python -m repro stats`` can break usage down per operation."""
+
+    STATS_FILE = "stats.json"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, op: str, key: str) -> Path:
+        return self.directory / f"{op}--{key}.pkl"
+
+    def get(self, op: str, key: str) -> Any:
+        """Unpickled entry; KeyError when absent or unreadable."""
+        path = self._path(op, key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            raise KeyError(key) from None
+
+    def put(self, op: str, key: str, value: Any) -> None:
+        path = self._path(op, key)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".pkl"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def entries(self) -> dict[str, int]:
+        """Entry counts per op name."""
+        counts: dict[str, int] = {}
+        for path in self.directory.glob("*--*.pkl"):
+            op = path.name.rsplit("--", 1)[0]
+            counts[op] = counts.get(op, 0) + 1
+        return counts
+
+    def total_bytes(self) -> int:
+        return sum(
+            path.stat().st_size for path in self.directory.glob("*--*.pkl")
+        )
+
+    def read_stats(self) -> dict:
+        """Cumulative engine counters persisted beside the entries."""
+        path = self.directory / self.STATS_FILE
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def merge_stats(self, update: dict) -> None:
+        """Accumulate ``update`` (nested dicts of numbers) into
+        ``stats.json`` so observability survives across runs."""
+
+        def merge(into: dict, frm: dict) -> dict:
+            for key, value in frm.items():
+                if isinstance(value, dict):
+                    into[key] = merge(dict(into.get(key) or {}), value)
+                elif isinstance(value, (int, float)):
+                    into[key] = into.get(key, 0) + value
+                else:
+                    into[key] = value
+            return into
+
+        merged = merge(self.read_stats(), update)
+        path = self.directory / self.STATS_FILE
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,318 @@
+"""The parallel cached analysis engine.
+
+:class:`AnalysisEngine` is the batch substrate under the experiment
+runners, the Table V exhaustive sweep, the CLI's ``--jobs``/``--cache``
+flags, and the benchmarks.  It owns three concerns:
+
+* **fan-out** -- independent analyses go through a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; results always come
+  back in submission order, so a parallel run is a drop-in replacement
+  for the serial loop it replaces;
+* **memoization** -- results are cached under a content hash of the
+  serialized system + op + options (in-memory LRU always, pickle files
+  under ``cache_dir`` optionally), so repeated sweeps and overlapping
+  experiments never recompute a minimum cycle mean;
+* **observability** -- per-op timing, hit/miss/disk-hit counters and
+  solver-call counts accumulate in :class:`EngineStats`, render as
+  text, and persist into the cache directory for
+  ``python -m repro stats``.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.lis_graph import LisGraph
+from ..core.serialize import lis_to_json
+from .cache import DiskCache, LruCache, content_key
+from .ops import run_op
+
+__all__ = ["AnalysisEngine", "EngineStats", "OpStats", "analyze_many"]
+
+
+@dataclass
+class OpStats:
+    """Counters for one operation name."""
+
+    calls: int = 0
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    seconds: float = 0.0
+    solver_calls: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "seconds": self.seconds,
+            "solver_calls": self.solver_calls,
+        }
+
+
+@dataclass
+class EngineStats:
+    """Aggregated engine observability (see :class:`OpStats`)."""
+
+    ops: dict[str, OpStats] = field(default_factory=dict)
+    batches: int = 0
+    tasks: int = 0
+    wall_seconds: float = 0.0
+    serialize_seconds: float = 0.0
+
+    def op(self, name: str) -> OpStats:
+        if name not in self.ops:
+            self.ops[name] = OpStats()
+        return self.ops[name]
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.ops.values())
+
+    @property
+    def disk_hits(self) -> int:
+        return sum(s.disk_hits for s in self.ops.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self.ops.values())
+
+    @property
+    def solver_calls(self) -> int:
+        return sum(s.solver_calls for s in self.ops.values())
+
+    @property
+    def hit_rate(self) -> float:
+        served = self.hits + self.disk_hits + self.misses
+        return (self.hits + self.disk_hits) / served if served else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "tasks": self.tasks,
+            "wall_seconds": self.wall_seconds,
+            "serialize_seconds": self.serialize_seconds,
+            "ops": {name: s.as_dict() for name, s in self.ops.items()},
+        }
+
+    def render(self) -> str:
+        """Human-readable stats block (the ``repro stats`` view)."""
+        lines = [
+            f"batches: {self.batches}   tasks: {self.tasks}   "
+            f"wall: {self.wall_seconds:.3f}s   "
+            f"hit rate: {self.hit_rate:.1%}",
+            f"{'op':<22}{'calls':>7}{'hits':>7}{'disk':>7}"
+            f"{'miss':>7}{'solver':>8}{'seconds':>10}",
+        ]
+        for name in sorted(self.ops):
+            s = self.ops[name]
+            lines.append(
+                f"{name:<22}{s.calls:>7}{s.hits:>7}{s.disk_hits:>7}"
+                f"{s.misses:>7}{s.solver_calls:>8}{s.seconds:>10.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+class AnalysisEngine:
+    """Parallel, cached executor of LIS analysis operations.
+
+    Args:
+        jobs: Worker processes.  ``None``, 0 or 1 run everything in
+            process (no pool); ``"auto"`` uses the CPU count.
+        cache_size: In-memory LRU capacity (entries; 0 disables).
+        cache_dir: Optional on-disk cache directory, shared across
+            engines and runs.
+
+    Use as a context manager (or call :meth:`close`) so the worker
+    pool is reaped and stats are persisted to the cache directory.
+    """
+
+    def __init__(
+        self,
+        jobs: int | str | None = None,
+        cache_size: int = 4096,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
+        if jobs == "auto":
+            jobs = _default_jobs()
+        self.jobs = max(1, int(jobs or 1))
+        self.stats = EngineStats()
+        self._memory = LruCache(cache_size)
+        self._disk = DiskCache(cache_dir) if cache_dir else None
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def __enter__(self) -> "AnalysisEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down and persist cumulative stats."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self.flush_stats()
+
+    def flush_stats(self) -> None:
+        """Merge this engine's counters into ``<cache_dir>/stats.json``
+        (no-op without a cache directory)."""
+        if self._disk is not None and self.stats.tasks:
+            self._disk.merge_stats(self.stats.as_dict())
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    # -- the batch surface --------------------------------------------
+
+    def run(self, tasks: Sequence[tuple]) -> list:
+        """Execute ``(op, lis, options)`` tasks; results in task order.
+
+        ``lis`` may be a :class:`LisGraph` or its canonical JSON text.
+        Identical tasks inside one batch are computed once (coalesced);
+        cached results are served without touching the pool.  Worker
+        exceptions (e.g. :class:`ExactTimeout` from an exact op)
+        propagate to the caller.
+        """
+        t_start = time.perf_counter()
+        self.stats.batches += 1
+        self.stats.tasks += len(tasks)
+
+        results: list = [None] * len(tasks)
+        # key -> (op, lis_json, options, [indices])
+        pending: dict[str, list] = {}
+        for i, task in enumerate(tasks):
+            op, lis, options = (*task, None)[:3]
+            t0 = time.perf_counter()
+            lis_json = lis if isinstance(lis, str) else lis_to_json(lis)
+            self.stats.serialize_seconds += time.perf_counter() - t0
+            key = content_key(op, lis_json, options)
+            per_op = self.stats.op(op)
+            per_op.calls += 1
+            if key in self._memory:
+                per_op.hits += 1
+                results[i] = copy.deepcopy(self._memory.get(key))
+                continue
+            if self._disk is not None:
+                try:
+                    value = self._disk.get(op, key)
+                except KeyError:
+                    pass
+                else:
+                    per_op.disk_hits += 1
+                    self._memory.put(key, value)
+                    results[i] = copy.deepcopy(value)
+                    continue
+            if key in pending:
+                per_op.coalesced += 1
+                pending[key][3].append(i)
+            else:
+                pending[key] = [op, lis_json, options, [i]]
+
+        if pending:
+            self._execute(pending, results)
+        self.stats.wall_seconds += time.perf_counter() - t_start
+        return results
+
+    def _execute(self, pending: dict[str, list], results: list) -> None:
+        items = list(pending.items())
+        if self.jobs > 1 and len(items) > 1:
+            pool = self._ensure_pool()
+            futures = [
+                (key, op, indices, pool.submit(run_op, op, lis_json, options))
+                for key, (op, lis_json, options, indices) in items
+            ]
+            outcomes = [
+                (key, op, indices, future.result())
+                for key, op, indices, future in futures
+            ]
+        else:
+            outcomes = [
+                (key, op, indices, run_op(op, lis_json, options))
+                for key, (op, lis_json, options, indices) in items
+            ]
+        for key, op, indices, (value, meta) in outcomes:
+            per_op = self.stats.op(op)
+            per_op.misses += 1
+            per_op.seconds += meta.get("elapsed", 0.0)
+            per_op.solver_calls += meta.get("solver_calls", 0)
+            self._memory.put(key, value)
+            if self._disk is not None:
+                self._disk.put(op, key, value)
+            for i in indices:
+                results[i] = copy.deepcopy(value)
+
+    def map(
+        self,
+        op: str,
+        systems: Iterable[LisGraph | str],
+        options: dict | None = None,
+    ) -> list:
+        """Run one op over many systems with shared options."""
+        return self.run([(op, lis, options) for lis in systems])
+
+    # -- single-system conveniences -----------------------------------
+
+    def _one(self, op: str, lis: LisGraph | str, options: dict | None = None):
+        return self.run([(op, lis, options)])[0]
+
+    def ideal_mst(self, lis: LisGraph | str):
+        """Cached :func:`repro.core.ideal_mst` (a ThroughputResult)."""
+        return self._one("ideal_mst", lis)
+
+    def actual_mst(self, lis: LisGraph | str, extra_tokens=None):
+        """Cached :func:`repro.core.actual_mst`."""
+        options = (
+            {"extra_tokens": dict(extra_tokens)} if extra_tokens else None
+        )
+        return self._one("actual_mst", lis, options)
+
+    def size_queues(self, lis: LisGraph | str, **options):
+        """Cached :func:`repro.core.size_queues` (same keywords)."""
+        return self._one("size_queues", lis, options or None)
+
+    def analyze(self, lis: LisGraph | str, **options):
+        """Cached :func:`repro.core.analyze` full report."""
+        return self._one("analyze", lis, options or None)
+
+
+def analyze_many(
+    systems: Sequence[LisGraph | str],
+    jobs: int | str | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    engine: AnalysisEngine | None = None,
+    **options,
+) -> list:
+    """Full :class:`~repro.core.AnalysisReport` for each system.
+
+    Batch counterpart of :func:`repro.core.analyze`: fans out over
+    ``jobs`` worker processes (deterministic result order) and caches
+    under ``cache_dir`` when given.  Pass an existing ``engine`` to
+    reuse its pool, cache, and stats; otherwise a transient engine is
+    created and closed around the batch.
+    """
+    if engine is not None:
+        return engine.map("analyze", systems, options or None)
+    with AnalysisEngine(jobs=jobs, cache_dir=cache_dir) as local:
+        return local.map("analyze", systems, options or None)

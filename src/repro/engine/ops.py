@@ -1,0 +1,194 @@
+"""The operations an :class:`~repro.engine.AnalysisEngine` can run.
+
+An *op* is a named pure function over a serialized LIS::
+
+    fn(lis: LisGraph, options: dict) -> (result, meta)
+
+where ``meta`` carries observability counters (currently
+``solver_calls``).  Ops receive the system re-parsed from its
+canonical JSON -- the same text the cache key is hashed from -- so a
+result is valid for exactly the content that keyed it, and worker
+processes never need to unpickle arbitrary objects.
+
+:func:`run_op` is the process-pool entrypoint (module-level, hence
+picklable); :func:`register_op` admits project-specific operations,
+which then work from every engine, including cached and parallel runs.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+from typing import Callable
+
+from ..core.lis_graph import LisGraph
+from ..core.serialize import lis_from_json
+from ..core.throughput import actual_mst, ideal_mst
+
+__all__ = ["available_ops", "get_op", "register_op", "run_op"]
+
+OpFn = Callable[[LisGraph, dict], "tuple[object, dict]"]
+
+_OPS: dict[str, OpFn] = {}
+
+
+def register_op(name: str, fn: OpFn, overwrite: bool = False) -> None:
+    """Register ``fn`` as an engine operation under ``name``."""
+    if name in _OPS and not overwrite:
+        raise ValueError(f"op {name!r} already registered")
+    _OPS[name] = fn
+
+
+def get_op(name: str) -> OpFn:
+    try:
+        return _OPS[name]
+    except KeyError:
+        known = ", ".join(sorted(_OPS))
+        raise ValueError(f"unknown op {name!r} (available: {known})") from None
+
+
+def available_ops() -> tuple[str, ...]:
+    return tuple(sorted(_OPS))
+
+
+def run_op(op: str, lis_json: str, options: dict | None) -> tuple:
+    """Execute one op; the ``(result, meta)`` pair comes back with the
+    compute wall-clock added to ``meta``.  This is the function worker
+    processes run."""
+    fn = get_op(op)
+    lis = lis_from_json(lis_json)
+    t0 = time.perf_counter()
+    result, meta = fn(lis, options or {})
+    meta = dict(meta)
+    meta["elapsed"] = time.perf_counter() - t0
+    return result, meta
+
+
+def _coerce_target(value) -> Fraction | None:
+    if value is None or isinstance(value, Fraction):
+        return value
+    return Fraction(value)
+
+
+def _op_ideal_mst(lis: LisGraph, options: dict):
+    return ideal_mst(lis), {"solver_calls": 0}
+
+
+def _op_actual_mst(lis: LisGraph, options: dict):
+    extra = options.get("extra_tokens")
+    if extra is not None:
+        extra = {int(cid): int(tokens) for cid, tokens in extra.items()}
+    return actual_mst(lis, extra), {"solver_calls": 0}
+
+
+def _op_mst_sweep(lis: LisGraph, options: dict):
+    """Ideal MST plus the practical MST at each uniform queue size.
+
+    Options: ``queues`` (list of ints), ``include_ideal`` (default
+    True).  Returns ``{"inf": Fraction, "<q>": Fraction, ...}`` -- the
+    per-trial unit of the Fig. 16 / Fig. 17 sweeps, batched so one
+    task amortizes one system's generation and transfer.
+    """
+    out: dict[str, Fraction] = {}
+    if options.get("include_ideal", True):
+        out["inf"] = ideal_mst(lis).mst
+    for q in options.get("queues", ()):
+        trial = lis.copy()
+        trial.set_all_queues(int(q))
+        out[str(q)] = actual_mst(trial).mst
+    return out, {"solver_calls": 0}
+
+
+def _op_size_queues(lis: LisGraph, options: dict):
+    from ..core.solvers import size_queues
+
+    solution = size_queues(
+        lis,
+        method=options.get("method", "heuristic"),
+        target=_coerce_target(options.get("target")),
+        collapse=options.get("collapse", "auto"),
+        timeout=options.get("timeout"),
+        max_cycles=options.get("max_cycles"),
+        verify=options.get("verify", True),
+    )
+    return solution, {"solver_calls": 1}
+
+
+def _op_analyze(lis: LisGraph, options: dict):
+    from ..core.report import analyze
+
+    report = analyze(
+        lis,
+        method=options.get("method", "heuristic"),
+        max_cycles=options.get("max_cycles"),
+    )
+    return report, {"solver_calls": 1 if report.fix is not None else 0}
+
+
+def _op_table4_trial(lis: LisGraph, options: dict):
+    """One Table IV trial: structure counts, the heuristic cost, and
+    the exact cost (None on timeout) after the SCC collapse."""
+    from ..core.cycles import collapse_sccs
+    from ..core.solvers import get_solver
+    from ..core.solvers.exact import ExactTimeout
+    from ..core.token_deficit import build_td_instance
+    from ..graphs import scc_of
+    from ..graphs.cycles import count_edge_cycles
+
+    mapping = scc_of(lis.system)
+    inter_scc_edges = sum(
+        1 for e in lis.channels() if mapping[e.src] != mapping[e.dst]
+    )
+    collapsed, _ = collapse_sccs(lis)
+    doubled = collapsed.doubled_marked_graph()
+    inter_scc_cycles = count_edge_cycles(doubled.graph)
+    instance = build_td_instance(collapsed, target=Fraction(1), simplify=True)
+    heuristic_weights, _stats = get_solver("heuristic").solve_instance(instance)
+    heuristic_cost = instance.solution_cost(heuristic_weights)
+    exact_cost: int | None = None
+    try:
+        weights, _stats = get_solver("exact").solve_instance(
+            instance, timeout=options.get("exact_timeout")
+        )
+        exact_cost = sum(weights.values()) + sum(instance.forced.values())
+    except ExactTimeout:
+        pass
+    result = {
+        "edges": len(lis.channels()),
+        "inter_scc_edges": inter_scc_edges,
+        "inter_scc_cycles": inter_scc_cycles,
+        "heuristic_cost": heuristic_cost,
+        "exact_cost": exact_cost,
+    }
+    return result, {"solver_calls": 2}
+
+
+def _op_exhaustive_placement(lis: LisGraph, options: dict):
+    """One Table V placement: insert relay stations on the listed
+    channels of the (serialized) base system, then run the heuristic
+    and optionally the exact solver on both TD variants."""
+    from ..soc.exhaustive import solve_placement
+
+    channels = tuple(int(c) for c in options["channels"])
+    for cid in channels:
+        lis.insert_relay(cid)
+    placement = solve_placement(
+        lis,
+        channels,
+        target=ideal_mst(lis).mst,
+        run_exact=options.get("run_exact", True),
+        exact_timeout=options.get("exact_timeout"),
+    )
+    calls = 0
+    if placement.degraded:
+        calls = 2 + (2 if options.get("run_exact", True) else 0)
+    return placement, {"solver_calls": calls}
+
+
+register_op("ideal_mst", _op_ideal_mst)
+register_op("actual_mst", _op_actual_mst)
+register_op("mst_sweep", _op_mst_sweep)
+register_op("size_queues", _op_size_queues)
+register_op("analyze", _op_analyze)
+register_op("table4_trial", _op_table4_trial)
+register_op("exhaustive_placement", _op_exhaustive_placement)

@@ -7,7 +7,13 @@ from .runners import (
     fig17_fixed_queue_recovery,
     table4_exact_vs_heuristic,
 )
-from .tables import format_cell, render_table, results_dir, save_result
+from .tables import (
+    format_cell,
+    render_table,
+    results_dir,
+    save_result,
+    save_result_json,
+)
 
 __all__ = [
     "cofdm_limit",
@@ -21,4 +27,5 @@ __all__ = [
     "render_table",
     "results_dir",
     "save_result",
+    "save_result_json",
 ]

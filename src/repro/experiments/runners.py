@@ -3,23 +3,24 @@
 Each runner is deterministic given its seed base, averages over a
 configurable number of random systems, and returns plain dicts/rows
 that the benchmarks render with :mod:`repro.experiments.tables`.
+
+All of them fan their per-system work out through the
+:class:`~repro.engine.AnalysisEngine`: pass ``jobs=`` to parallelize,
+``cache_dir=`` to memoize across runs, or an existing ``engine=`` to
+share its pool, cache, and stats.  Results are aggregated in
+submission order, so serial and parallel runs produce identical
+numbers.
 """
 
 from __future__ import annotations
 
+import contextlib
 import statistics
-import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 
-from ..core.cycles import collapse_sccs
-from ..core.solvers.exact import ExactTimeout, solve_td_exact
-from ..core.solvers.heuristic import solve_td_heuristic
-from ..core.throughput import actual_mst, ideal_mst
-from ..core.token_deficit import build_td_instance
+from ..engine import AnalysisEngine
 from ..gen.generator import GeneratorConfig, generate_lis
-from ..graphs import scc_of
-from ..graphs.cycles import count_edge_cycles
 
 __all__ = [
     "fig16_mst_degradation",
@@ -27,6 +28,17 @@ __all__ = [
     "Table4Row",
     "table4_exact_vs_heuristic",
 ]
+
+
+@contextlib.contextmanager
+def _engine_for(engine, jobs, cache_dir):
+    """An engine to submit through: the caller's (left open) or a
+    transient one (closed on exit)."""
+    if engine is not None:
+        yield engine
+        return
+    with AnalysisEngine(jobs=jobs, cache_dir=cache_dir) as local:
+        yield local
 
 
 def fig16_mst_degradation(
@@ -38,6 +50,9 @@ def fig16_mst_degradation(
     s: int = 5,
     c: int = 5,
     seed_base: int = 1000,
+    jobs: int | str | None = None,
+    cache_dir=None,
+    engine: AnalysisEngine | None = None,
 ) -> dict[tuple[str, str], list[float]]:
     """Fig. 16: average MST vs relay-station count.
 
@@ -45,31 +60,41 @@ def fig16_mst_degradation(
     ``queue_label`` is ``"inf"`` for the ideal system (infinite queues,
     no backpressure) or ``str(q)`` for finite uniform queues.
     """
-    series: dict[tuple[str, str], list[float]] = {}
-    for policy in policies:
-        labels = ["inf"] + [str(q) for q in queues]
+    grid = [
+        (policy, rs, trial)
+        for policy in policies
+        for rs in rs_values
+        for trial in range(trials)
+    ]
+    tasks = []
+    for policy, rs, trial in grid:
+        cfg = GeneratorConfig(
+            v=v,
+            s=s,
+            c=c,
+            rs=rs,
+            rp=True,
+            policy=policy,
+            seed=seed_base + 7919 * trial + rs,
+        )
+        tasks.append(("mst_sweep", generate_lis(cfg), {"queues": queues}))
+    with _engine_for(engine, jobs, cache_dir) as eng:
+        sweeps = eng.run(tasks)
+
+    labels = ["inf"] + [str(q) for q in queues]
+    series: dict[tuple[str, str], list[float]] = {
+        (policy, label): [] for policy in policies for label in labels
+    }
+    sums: dict[tuple[str, int, str], float] = {}
+    for (policy, rs, _trial), sweep in zip(grid, sweeps):
         for label in labels:
-            series[(policy, label)] = []
-        for rs in rs_values:
-            sums = {label: 0.0 for label in labels}
-            for trial in range(trials):
-                cfg = GeneratorConfig(
-                    v=v,
-                    s=s,
-                    c=c,
-                    rs=rs,
-                    rp=True,
-                    policy=policy,
-                    seed=seed_base + 7919 * trial + rs,
-                )
-                lis = generate_lis(cfg)
-                sums["inf"] += float(ideal_mst(lis).mst)
-                for q in queues:
-                    trial_lis = lis.copy()
-                    trial_lis.set_all_queues(q)
-                    sums[str(q)] += float(actual_mst(trial_lis).mst)
-            for label in labels:
-                series[(policy, label)].append(sums[label] / trials)
+            key = (policy, rs, label)
+            sums[key] = sums.get(key, 0.0) + float(sweep[label])
+    for policy in policies:
+        for label in labels:
+            series[(policy, label)] = [
+                sums[(policy, rs, label)] / trials for rs in rs_values
+            ]
     return series
 
 
@@ -81,21 +106,26 @@ def fig17_fixed_queue_recovery(
     s: int = 5,
     c: int = 5,
     seed_base: int = 2000,
+    jobs: int | str | None = None,
+    cache_dir=None,
+    engine: AnalysisEngine | None = None,
 ) -> dict[int, float]:
     """Fig. 17: average actual/ideal MST ratio vs uniform queue size,
     for scc-policy relay insertion (ideal MST is 1 there)."""
-    totals = {q: 0.0 for q in q_values}
+    tasks = []
     for trial in range(trials):
         cfg = GeneratorConfig(
             v=v, s=s, c=c, rs=rs, rp=True, policy="scc",
             seed=seed_base + 104729 * trial,
         )
-        lis = generate_lis(cfg)
-        ideal = ideal_mst(lis).mst
+        tasks.append(("mst_sweep", generate_lis(cfg), {"queues": q_values}))
+    with _engine_for(engine, jobs, cache_dir) as eng:
+        sweeps = eng.run(tasks)
+    totals = {q: 0.0 for q in q_values}
+    for sweep in sweeps:
+        ideal = sweep["inf"]
         for q in q_values:
-            trial_lis = lis.copy()
-            trial_lis.set_all_queues(q)
-            totals[q] += float(actual_mst(trial_lis).mst / ideal)
+            totals[q] += float(sweep[str(q)] / ideal)
     return {q: total / trials for q, total in totals.items()}
 
 
@@ -158,6 +188,9 @@ def table4_exact_vs_heuristic(
     rs: int = 10,
     exact_timeout: float = 20.0,
     seed_base: int = 3000,
+    jobs: int | str | None = None,
+    cache_dir=None,
+    engine: AnalysisEngine | None = None,
 ) -> list[Table4Row]:
     """Table IV: exact vs heuristic queue sizing on DAG-of-SCC systems
     with inter-SCC relay stations, solved after the SCC collapse.
@@ -168,45 +201,49 @@ def table4_exact_vs_heuristic(
     """
     if configs is None:
         configs = [(50, 10, 2), (100, 10, 1), (100, 20, 1), (200, 10, 1)]
-    rows = []
-    for row_idx, (v, s, c) in enumerate(configs):
-        row = Table4Row(v=v, s=s, c=c, rs=rs, trials=trials)
-        edges_sum = inter_sum = cycles_sum = 0.0
-        for trial in range(trials):
-            cfg = GeneratorConfig(
-                v=v, s=s, c=c, rs=rs, rp=True, policy="scc",
-                seed=seed_base + 15485863 * row_idx + 6151 * trial,
+    grid = [
+        (row_idx, v, s, c, trial)
+        for row_idx, (v, s, c) in enumerate(configs)
+        for trial in range(trials)
+    ]
+    tasks = []
+    for row_idx, v, s, c, trial in grid:
+        cfg = GeneratorConfig(
+            v=v, s=s, c=c, rs=rs, rp=True, policy="scc",
+            seed=seed_base + 15485863 * row_idx + 6151 * trial,
+        )
+        tasks.append(
+            (
+                "table4_trial",
+                generate_lis(cfg),
+                {"exact_timeout": exact_timeout},
             )
-            lis = generate_lis(cfg)
-            edges_sum += len(lis.channels())
-            mapping = scc_of(lis.system)
-            inter_sum += sum(
-                1
-                for e in lis.channels()
-                if mapping[e.src] != mapping[e.dst]
+        )
+    with _engine_for(engine, jobs, cache_dir) as eng:
+        outcomes = eng.run(tasks)
+
+    rows = [
+        Table4Row(v=v, s=s, c=c, rs=rs, trials=trials)
+        for v, s, c in configs
+    ]
+    sums = [[0.0, 0.0, 0.0] for _ in configs]
+    for (row_idx, *_cfg), outcome in zip(grid, outcomes):
+        row = rows[row_idx]
+        sums[row_idx][0] += outcome["edges"]
+        sums[row_idx][1] += outcome["inter_scc_edges"]
+        sums[row_idx][2] += outcome["inter_scc_cycles"]
+        if outcome["exact_cost"] is not None:
+            row.exact_solutions.append(outcome["exact_cost"])
+            row.heuristic_solutions_finished.append(
+                outcome["heuristic_cost"]
             )
-            collapsed, _ = collapse_sccs(lis)
-            doubled = collapsed.doubled_marked_graph()
-            cycles_sum += count_edge_cycles(doubled.graph)
-            instance = build_td_instance(
-                collapsed, target=Fraction(1), simplify=True
+        else:
+            row.unfinished_cycles.append(outcome["inter_scc_cycles"])
+            row.heuristic_solutions_unfinished.append(
+                outcome["heuristic_cost"]
             )
-            heuristic_cost = instance.solution_cost(
-                solve_td_heuristic(instance)
-            )
-            try:
-                outcome = solve_td_exact(instance, timeout=exact_timeout)
-                row.exact_solutions.append(
-                    outcome.cost + sum(instance.forced.values())
-                )
-                row.heuristic_solutions_finished.append(heuristic_cost)
-            except ExactTimeout:
-                row.unfinished_cycles.append(
-                    count_edge_cycles(doubled.graph)
-                )
-                row.heuristic_solutions_unfinished.append(heuristic_cost)
-        row.avg_edges = edges_sum / trials
-        row.avg_inter_scc_edges = inter_sum / trials
-        row.avg_inter_scc_cycles = cycles_sum / trials
-        rows.append(row)
+    for row, (edges, inter, cycles) in zip(rows, sums):
+        row.avg_edges = edges / trials
+        row.avg_inter_scc_edges = inter / trials
+        row.avg_inter_scc_cycles = cycles / trials
     return rows

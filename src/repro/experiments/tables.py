@@ -7,12 +7,19 @@ plain-text table; this module renders and stores them uniformly under
 
 from __future__ import annotations
 
+import json
 import os
 from fractions import Fraction
 from pathlib import Path
 from typing import Any, Iterable
 
-__all__ = ["format_cell", "render_table", "results_dir", "save_result"]
+__all__ = [
+    "format_cell",
+    "render_table",
+    "results_dir",
+    "save_result",
+    "save_result_json",
+]
 
 
 def format_cell(value: Any) -> str:
@@ -69,3 +76,28 @@ def save_result(name: str, text: str) -> Path:
     path = results_dir() / f"{name}.txt"
     path.write_text(text + "\n")
     return path
+
+
+def _json_default(value: Any) -> Any:
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if hasattr(value, "value"):  # enums (TopologyClass, ...)
+        return value.value
+    return str(value)
+
+
+def save_result_json(name: str, data: dict | None = None) -> str:
+    """Persist a machine-readable result line alongside the text table.
+
+    Writes ``benchmarks/results/<name>.json`` containing one JSON
+    object (``{"bench": name, ...data}``) and returns the serialized
+    line, so benchmark trajectories can be tracked by tooling without
+    parsing ASCII tables.  Fractions are encoded as ``"n/d"`` strings.
+    """
+    payload = {"bench": name}
+    if data:
+        payload.update(data)
+    line = json.dumps(payload, sort_keys=True, default=_json_default)
+    path = results_dir() / f"{name}.json"
+    path.write_text(line + "\n")
+    return line

@@ -18,13 +18,18 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 
 from ..core.lis_graph import LisGraph
-from ..core.solvers.exact import ExactTimeout, solve_td_exact
-from ..core.solvers.heuristic import solve_td_heuristic
-from ..core.throughput import actual_mst, ideal_mst
+from ..core.solvers import get_solver
+from ..core.solvers.exact import ExactTimeout
+from ..core.throughput import actual_mst
 from ..core.token_deficit import build_td_instance
 from .cofdm import cofdm_transmitter
 
-__all__ = ["PlacementResult", "ExhaustiveReport", "run_exhaustive_insertion"]
+__all__ = [
+    "PlacementResult",
+    "ExhaustiveReport",
+    "run_exhaustive_insertion",
+    "solve_placement",
+]
 
 
 @dataclass(frozen=True)
@@ -129,38 +134,48 @@ class ExhaustiveReport:
         return out
 
 
-def _solve_placement(
+def solve_placement(
     lis: LisGraph,
     channels: tuple[int, ...],
     target: Fraction,
-    run_exact: bool,
-    exact_timeout: float | None,
-    timeouts: dict[str, int],
+    run_exact: bool = True,
+    exact_timeout: float | None = None,
 ) -> PlacementResult:
+    """Analyze one placement (relay stations already inserted).
+
+    Pure per-placement work -- this is what the engine op
+    ``"exhaustive_placement"`` runs in worker processes.  An exact
+    timeout is recorded as ``optimal_tokens[variant] = None``;
+    :func:`run_exhaustive_insertion` aggregates those into the
+    report's timeout counts.
+    """
     ideal = target
     actual = actual_mst(lis).mst
     result_heur: dict[str, int] = {}
     result_opt: dict[str, int | None] = {}
     cpu: dict[str, float] = {}
     if actual < ideal:
+        heuristic = get_solver("heuristic")
+        exact = get_solver("exact")
         for variant, simplify in (("orig", False), ("simplified", True)):
             instance = build_td_instance(lis, target=ideal, simplify=simplify)
             t0 = time.perf_counter()
-            weights = solve_td_heuristic(instance)
+            weights, _ = heuristic.solve_instance(instance)
             cpu[f"heuristic_{variant}"] = (time.perf_counter() - t0) * 1e3
             result_heur[variant] = instance.solution_cost(weights)
             if run_exact:
                 t0 = time.perf_counter()
                 try:
-                    outcome = solve_td_exact(instance, timeout=exact_timeout)
+                    weights, _ = exact.solve_instance(
+                        instance, timeout=exact_timeout
+                    )
                     cpu[f"optimal_{variant}"] = (
                         time.perf_counter() - t0
                     ) * 1e3
-                    result_opt[variant] = outcome.cost + sum(
+                    result_opt[variant] = sum(weights.values()) + sum(
                         instance.forced.values()
                     )
                 except ExactTimeout:
-                    timeouts[variant] = timeouts.get(variant, 0) + 1
                     result_opt[variant] = None
     return PlacementResult(
         channels=channels,
@@ -178,8 +193,11 @@ def run_exhaustive_insertion(
     run_exact: bool = True,
     exact_timeout: float | None = 60.0,
     limit: int | None = None,
+    jobs: int | str | None = None,
+    cache_dir=None,
+    engine=None,
 ) -> ExhaustiveReport:
-    """The Table V sweep.
+    """The Table V sweep, fanned out through the analysis engine.
 
     Args:
         queue: Uniform queue size (1 reproduces Table V; with 2 the
@@ -191,24 +209,45 @@ def run_exhaustive_insertion(
             solver; expirations are counted, as in the paper.
         limit: Optionally stop after this many placements (for smoke
             tests); ``None`` sweeps all C(30, k).
+        jobs: Worker processes for per-placement fan-out (serial when
+            unset); ignored when ``engine`` is passed.
+        cache_dir: Optional on-disk result cache directory.
+        engine: An existing :class:`~repro.engine.AnalysisEngine` to
+            submit through (kept open); otherwise a transient one is
+            created.
     """
+    from ..core.serialize import lis_to_json
+    from ..engine import AnalysisEngine
+
     base = cofdm_transmitter(queue=queue)
-    channel_ids = base.channel_ids()
-    placements: list[PlacementResult] = []
-    timeouts: dict[str, int] = {}
-    combos = itertools.combinations(channel_ids, relays_per_placement)
-    for i, combo in enumerate(combos):
-        if limit is not None and i >= limit:
-            break
-        lis = base.copy()
-        for cid in combo:
-            lis.insert_relay(cid)
-        ideal = ideal_mst(lis).mst
-        placements.append(
-            _solve_placement(
-                lis, combo, ideal, run_exact, exact_timeout, timeouts
-            )
+    base_json = lis_to_json(base)
+    combos = itertools.combinations(
+        base.channel_ids(), relays_per_placement
+    )
+    if limit is not None:
+        combos = itertools.islice(combos, limit)
+    tasks = [
+        (
+            "exhaustive_placement",
+            base_json,
+            {
+                "channels": list(combo),
+                "run_exact": run_exact,
+                "exact_timeout": exact_timeout,
+            },
         )
+        for combo in combos
+    ]
+    if engine is not None:
+        placements = engine.run(tasks)
+    else:
+        with AnalysisEngine(jobs=jobs, cache_dir=cache_dir) as local:
+            placements = local.run(tasks)
+    timeouts: dict[str, int] = {}
+    for placement in placements:
+        for variant, tokens in placement.optimal_tokens.items():
+            if tokens is None:
+                timeouts[variant] = timeouts.get(variant, 0) + 1
     return ExhaustiveReport(
         placements=placements,
         timeouts=timeouts,

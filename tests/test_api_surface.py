@@ -63,6 +63,36 @@ def test_public_root_api_imports():
         assert getattr(repro, name, None) is not None or name == "__version__"
 
 
+def test_root_exports_match_docs():
+    """docs/API.md's package-root export block is repro.__all__, exactly."""
+    import re
+    from pathlib import Path
+
+    import repro
+
+    api_md = (
+        Path(__file__).resolve().parents[1] / "docs" / "API.md"
+    ).read_text()
+    match = re.search(
+        r"<!-- root-exports:begin -->\s*```text\n(.*?)```",
+        api_md,
+        re.DOTALL,
+    )
+    assert match, "docs/API.md lost its root-exports block"
+    documented = {
+        name.strip() for name in match.group(1).replace("\n", " ").split(",")
+    }
+    assert documented == set(repro.__all__)
+
+
+def test_solver_registry_roundtrip():
+    from repro import available_solvers, get_solver
+
+    assert {"heuristic", "greedy", "exact", "milp"} <= set(available_solvers())
+    with pytest.raises(ValueError, match="unknown method"):
+        get_solver("simulated-annealing")
+
+
 def test_version_string():
     import repro
 

@@ -34,6 +34,53 @@ def test_analyze(fig1_file, capsys):
     assert "critical cycle" in out
 
 
+def test_analyze_many_files_with_jobs_and_cache(
+    fig1_file, tmp_path, capsys
+):
+    fig15 = tmp_path / "fig15.json"
+    assert main(["example", "fig15", "-o", str(fig15)]) == 0
+    capsys.readouterr()
+    cache = tmp_path / "cache"
+    args = [
+        "analyze",
+        str(fig1_file),
+        str(fig15),
+        "--jobs",
+        "2",
+        "--cache",
+        str(cache),
+        "--stats",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert f"== {fig1_file}" in out and f"== {fig15}" in out
+    assert "practical MST:   2/3" in out  # fig1
+    assert "practical MST:   3/4" in out  # fig15
+    assert "hit rate" in out  # --stats footer
+    assert (cache / "stats.json").exists()
+
+    # A warm re-run serves everything from the cache.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "hit rate: 100.0%" in out
+
+
+def test_stats_command(fig1_file, tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["analyze", str(fig1_file), "--cache", str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["stats", "--cache", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "actual_mst" in out
+    assert "entries" in out
+
+
+def test_stats_command_missing_cache_dir(tmp_path, capsys):
+    assert main(["stats", "--cache", str(tmp_path / "nope")]) == 2
+    err = capsys.readouterr().err
+    assert "no cache directory" in err
+
+
 def test_size_heuristic_and_exit_code(fig1_file, capsys):
     assert main(["size", str(fig1_file), "--method", "exact"]) == 0
     out = capsys.readouterr().out
