@@ -28,6 +28,8 @@ Subpackages:
   solvers, relay-station insertion, the NP-completeness reduction.
 * :mod:`repro.lis` -- two cycle-accurate simulators plus environment
   models for open systems.
+* :mod:`repro.sim` -- the NumPy-vectorized batch simulation kernel,
+  cycle-exact against both reference simulators.
 * :mod:`repro.gen` -- the Section VIII random generator and every
   worked example from the paper's figures.
 * :mod:`repro.soc` -- the COFDM UWB transmitter case study.
@@ -62,12 +64,27 @@ from .engine import AnalysisEngine, EngineStats, analyze_many
 from .gen import GeneratorConfig, generate_lis
 from .lis import RtlSimulator, ShellBehavior, TraceSimulator, simulate_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+# The vectorized backend needs numpy, which is an optional dependency;
+# resolve its names lazily so `import repro` works without it.
+_SIM_EXPORTS = {"BatchSimulator", "FastSimulator", "simulate_fast"}
+
+
+def __getattr__(name):
+    if name in _SIM_EXPORTS:
+        from . import sim
+
+        return getattr(sim, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AnalysisEngine",
     "AnalysisReport",
+    "BatchSimulator",
     "EngineStats",
+    "FastSimulator",
     "GeneratorConfig",
     "LisGraph",
     "MarkedGraph",
@@ -91,6 +108,7 @@ __all__ = [
     "minimal_fixed_q",
     "mst",
     "register_solver",
+    "simulate_fast",
     "simulate_trace",
     "size_queues",
     "__version__",

@@ -118,9 +118,44 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--clocks", type=int, default=400)
     sim.add_argument("--warmup", type=int, default=100)
     sim.add_argument(
-        "--simulator", choices=("trace", "rtl"), default="trace"
+        "--backend",
+        choices=("trace", "rtl", "fast"),
+        default=None,
+        help="simulation backend (default: trace; 'fast' is the "
+        "vectorized kernel)",
+    )
+    sim.add_argument(
+        "--simulator",
+        choices=("trace", "rtl", "fast"),
+        default=None,
+        help="deprecated alias of --backend",
     )
     sim.add_argument("--shell", default=None, help="probe shell (default: auto)")
+    sim.add_argument(
+        "--batch",
+        default=None,
+        metavar="FILE",
+        help="JSON list of {channel id: extra queue slots} assignments "
+        "to evaluate in one vectorized batch (fast backend only)",
+    )
+    sim.add_argument(
+        "--chunk",
+        type=int,
+        default=16,
+        help="assignments per engine task in --batch mode (default 16)",
+    )
+    sim.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for --batch chunks",
+    )
+    sim.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="analysis-engine result cache directory for --batch runs",
+    )
 
     example = sub.add_parser("example", help="dump a named paper example")
     example.add_argument("name", choices=sorted(EXAMPLES))
@@ -259,31 +294,108 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _probe_shell(lis, shell):
+    if shell is not None:
+        return shell
+    analysis = actual_mst(lis)
+    if analysis.limiting_scc:
+        shells = sorted(
+            str(n) for n in analysis.limiting_scc if not isinstance(n, tuple)
+        )
+        if shells:
+            return shells[0]
+    return lis.shells()[0]
+
+
+def _cmd_simulate_batch(args, lis, backend) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .core.serialize import lis_to_json
+    from .engine import AnalysisEngine
+
+    if backend not in (None, "fast"):
+        print(
+            f"error: --batch requires the fast backend, not {backend!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        raw = _json.loads(Path(args.batch).read_text())
+        assignments = [
+            {int(c): int(x) for c, x in entry.items()} for entry in raw
+        ]
+    except (OSError, ValueError, AttributeError) as exc:
+        print(f"error: bad --batch file: {exc}", file=sys.stderr)
+        return 2
+    if not assignments:
+        print("error: --batch file holds no assignments", file=sys.stderr)
+        return 2
+    probe = _probe_shell(lis, args.shell)
+    lis_json = lis_to_json(lis)
+    chunk = max(1, args.chunk)
+    chunks = [
+        assignments[i : i + chunk]
+        for i in range(0, len(assignments), chunk)
+    ]
+    with AnalysisEngine(jobs=args.jobs, cache_dir=args.cache) as engine:
+        tasks = [
+            (
+                "simulate_batch",
+                lis_json,
+                {
+                    "assignments": part,
+                    "clocks": args.clocks,
+                    "warmup": args.warmup,
+                },
+            )
+            for part in chunks
+        ]
+        analytic_tasks = [
+            ("actual_mst", lis_json, {"extra_tokens": extra})
+            for extra in assignments
+        ]
+        simulated = [
+            entry for part in engine.run(tasks) for entry in part
+        ]
+        analytics = engine.run(analytic_tasks)
+    # Serialized shell names are strings; probe may arrive as any type.
+    probe_key = str(probe)
+    print(f"probe shell:     {probe}")
+    print("backend:         fast (batched)")
+    print(f"assignments:     {len(assignments)} (chunks of {chunk})")
+    for i, (extra, entry, analysis) in enumerate(
+        zip(assignments, simulated, analytics)
+    ):
+        rate = entry["throughput"][probe_key]
+        extra_total = sum(extra.values())
+        print(
+            f"[{i:>3}] extra={extra_total:<3} "
+            f"measured={rate} ({float(rate):.4f})  "
+            f"analytic={analysis.mst} ({float(analysis.mst):.4f})"
+        )
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     from .lis import measured_throughput
 
+    backend = args.backend or args.simulator
     lis = load_lis(args.file)
-    if args.shell is not None:
-        probe = args.shell
-    else:
-        analysis = actual_mst(lis)
-        if analysis.limiting_scc:
-            shells = [
-                n for n in analysis.limiting_scc if not isinstance(n, tuple)
-            ]
-            probe = shells[0] if shells else lis.shells()[0]
-        else:
-            probe = lis.shells()[0]
+    if args.batch is not None:
+        return _cmd_simulate_batch(args, lis, backend)
+    backend = backend or "trace"
+    probe = _probe_shell(lis, args.shell)
     rate = measured_throughput(
         lis,
         probe,
         clocks=args.clocks,
         warmup=args.warmup,
-        simulator=args.simulator,
+        simulator=backend,
     )
     analytic = actual_mst(lis).mst
     print(f"probe shell:     {probe}")
-    print(f"simulator:       {args.simulator}")
+    print(f"simulator:       {backend}")
     print(f"measured rate:   {rate} ({float(rate):.4f})")
     print(f"analytic MST:    {analytic} ({float(analytic):.4f})")
     return 0

@@ -185,6 +185,44 @@ def _op_exhaustive_placement(lis: LisGraph, options: dict):
     return placement, {"solver_calls": calls}
 
 
+def _op_simulate_batch(lis: LisGraph, options: dict):
+    """Vectorized batch simulation of one topology under many
+    queue-sizing assignments (:mod:`repro.sim`).
+
+    Options: ``assignments`` (list of ``{channel id: extra tokens}``;
+    default ``[{}]``), ``clocks`` (measured cycles, default 400),
+    ``warmup`` (discarded leading cycles, default 100).  Returns one
+    dict per assignment: ``throughput`` ({shell: Fraction} over the
+    measurement window) and ``max_occupancy`` ({channel id: peak items
+    on the consumer shell's queue}).
+    """
+    from ..sim import BatchSimulator
+
+    assignments = [
+        {int(c): int(x) for c, x in a.items()}
+        for a in (options.get("assignments") or [{}])
+    ]
+    clocks = int(options.get("clocks", 400))
+    warmup = int(options.get("warmup", 100))
+    sim = BatchSimulator(lis, assignments)
+    result = sim.run(warmup + clocks, warmup=warmup)
+    compiled = sim.compiled
+    out = []
+    for b in range(result.width):
+        rates = result.throughput(b)
+        out.append(
+            {
+                "throughput": {
+                    name: rates[name]
+                    for i, name in enumerate(compiled.node_names)
+                    if compiled.is_shell[i]
+                },
+                "max_occupancy": result.max_queue_occupancy(b),
+            }
+        )
+    return out, {"solver_calls": 0, "simulated_cycles": warmup + clocks}
+
+
 register_op("ideal_mst", _op_ideal_mst)
 register_op("actual_mst", _op_actual_mst)
 register_op("mst_sweep", _op_mst_sweep)
@@ -192,3 +230,4 @@ register_op("size_queues", _op_size_queues)
 register_op("analyze", _op_analyze)
 register_op("table4_trial", _op_table4_trial)
 register_op("exhaustive_placement", _op_exhaustive_placement)
+register_op("simulate_batch", _op_simulate_batch)

@@ -56,7 +56,16 @@ def measured_throughput(
     simulator: str = "trace",
     extra_tokens: dict[int, int] | None = None,
 ) -> Fraction:
-    """Long-run firing rate of ``shell`` under the chosen simulator."""
+    """Long-run firing rate of ``shell`` under the chosen backend
+    (``"trace"``, ``"rtl"``, or the vectorized ``"fast"`` kernel)."""
+    if simulator == "fast":
+        # Token counting only -- no per-clock value replay needed.
+        from ..sim import BatchSimulator
+
+        result = BatchSimulator(lis, [dict(extra_tokens or {})]).run(
+            warmup + clocks, warmup=warmup
+        )
+        return result.throughput(0, shell)
     if simulator == "trace":
         sim: TraceSimulator | RtlSimulator = TraceSimulator(
             lis, extra_tokens=extra_tokens
@@ -76,12 +85,13 @@ def crossvalidate(
     tolerance: Fraction = Fraction(1, 25),
     extra_tokens: dict[int, int] | None = None,
 ) -> dict:
-    """Compare analytic MST against both simulators.
+    """Compare analytic MST against all three simulation backends.
 
     Measures the rate of a shell on the limiting critical cycle (or an
     arbitrary shell when the MST is 1) and returns a report dict with
-    ``analytic``, ``trace``, ``rtl`` rates and ``agreed`` (True when
-    both empirical rates are within ``tolerance`` of the analytic MST).
+    ``analytic``, ``trace``, ``rtl``, ``fast`` rates and ``agreed``
+    (True when every empirical rate is within ``tolerance`` of the
+    analytic MST).
 
     The finite-horizon rate of a periodic system differs from the
     asymptotic rate by O(1/clocks), hence the tolerance.
@@ -102,14 +112,19 @@ def crossvalidate(
     rtl_rate = measured_throughput(
         lis, probe, clocks, warmup, "rtl", extra_tokens
     )
+    fast_rate = measured_throughput(
+        lis, probe, clocks, warmup, "fast", extra_tokens
+    )
     agreed = (
         abs(trace_rate - analysis.mst) <= tolerance
         and abs(rtl_rate - analysis.mst) <= tolerance
+        and fast_rate == trace_rate  # same semantics: exactly equal
     )
     return {
         "probe": probe,
         "analytic": analysis.mst,
         "trace": trace_rate,
         "rtl": rtl_rate,
+        "fast": fast_rate,
         "agreed": agreed,
     }

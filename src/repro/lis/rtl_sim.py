@@ -287,6 +287,14 @@ class RtlSimulator:
             if isinstance(seg.consumer, RtlShell):
                 seg.queue.append(_RESET)
 
+        self._shell_segments = [
+            seg
+            for seg in self.segments
+            if isinstance(seg.consumer, RtlShell)
+        ]
+        self._max_occupancy: dict[int, int] = {
+            seg.channel: len(seg.queue) for seg in self._shell_segments
+        }
         self.clock = 0
         self.trace = Trace()
 
@@ -311,6 +319,10 @@ class RtlSimulator:
             for seg, value in zip(self.nodes[name].outputs, values):
                 seg.queue.append(value)
 
+        for seg in self._shell_segments:
+            if len(seg.queue) > self._max_occupancy[seg.channel]:
+                self._max_occupancy[seg.channel] = len(seg.queue)
+
         for name in self.nodes:
             if firing[name]:
                 self.trace.record(name, displays[name], True)
@@ -327,6 +339,13 @@ class RtlSimulator:
 
     def throughput(self, shell: Hashable, skip: int = 0) -> Fraction:
         return self.trace.throughput(shell, skip=skip)
+
+    def max_queue_occupancy(self) -> dict[int, int]:
+        """Peak occupancy per channel's shell input queue, counting the
+        reset placeholder as one item -- the same accounting as
+        ``TraceSimulator.max_queue_occupancy`` (the placeholder is the
+        marked graph's initial token)."""
+        return dict(self._max_occupancy)
 
 
 def simulate_rtl(

@@ -1,0 +1,238 @@
+"""Batch and single-configuration fronts for the vectorized kernel.
+
+:class:`BatchSimulator` evaluates B queue-sizing assignments of one
+topology in a single run -- the compile cost is paid once and every
+kernel step advances all configurations together.  :class:`FastSimulator`
+is the B = 1 convenience with the same ``run(clocks) -> Trace`` surface
+as the reference simulators (values reconstructed on demand by
+:class:`~repro.sim.replay.TraceReplayer`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.lis_graph import LisGraph
+from ..lis.protocol import ShellBehavior, Trace
+from .compile import CompiledSystem, compile_lis
+from .kernel import step_batch
+from .replay import TraceReplayer
+
+__all__ = [
+    "BatchRunResult",
+    "BatchSimulator",
+    "FastSimulator",
+    "simulate_fast",
+]
+
+
+class BatchRunResult:
+    """Outcome of one batched run: per-configuration firing counts over
+    the measurement window, peak queue occupancies, and (when recorded)
+    the full firing history."""
+
+    def __init__(
+        self,
+        compiled: CompiledSystem,
+        assignments: list[dict[int, int]],
+        clocks: int,
+        warmup: int,
+        counts: np.ndarray,
+        occupancy: np.ndarray,
+        history: np.ndarray | None,
+    ) -> None:
+        self.compiled = compiled
+        self.assignments = assignments
+        self.clocks = clocks
+        self.warmup = warmup
+        self.counts = counts
+        self.occupancy = occupancy
+        self.history = history
+
+    @property
+    def width(self) -> int:
+        """Number of configurations in the batch."""
+        return len(self.assignments)
+
+    def throughput(
+        self, b: int = 0, node: Hashable | None = None
+    ) -> Fraction | dict[Hashable, Fraction]:
+        """Firing rate over the post-warmup window; a single node's, or
+        ``{node: rate}`` for every transition when ``node`` is None."""
+        window = self.clocks - self.warmup
+        if node is not None:
+            i = self.compiled.node_index[node]
+            return Fraction(int(self.counts[b, i]), window)
+        return {
+            name: Fraction(int(self.counts[b, i]), window)
+            for i, name in enumerate(self.compiled.node_names)
+        }
+
+    def max_queue_occupancy(self, b: int = 0) -> dict[int, int]:
+        """Peak items on each channel's consumer-shell queue (matches
+        ``TraceSimulator.max_queue_occupancy``)."""
+        return {
+            channel: int(self.occupancy[b, k])
+            for k, channel in enumerate(self.compiled.occ_channels)
+        }
+
+    def fired(self, b: int = 0) -> dict[Hashable, list[bool]]:
+        """Per-node firing flags (requires ``record=True``)."""
+        if self.history is None:
+            raise ValueError("run with record=True to keep firing history")
+        return {
+            name: [bool(x) for x in self.history[:, b, i]]
+            for i, name in enumerate(self.compiled.node_names)
+        }
+
+    def to_trace(
+        self,
+        b: int = 0,
+        behaviors: Mapping[Hashable, ShellBehavior] | None = None,
+    ) -> Trace:
+        """Replay configuration ``b``'s data values into a full
+        :class:`Trace` (requires ``record=True``)."""
+        if self.history is None:
+            raise ValueError("run with record=True to keep firing history")
+        return TraceReplayer(self.compiled, behaviors).extend(
+            self.history[:, b, :]
+        )
+
+
+class BatchSimulator:
+    """Evaluate many queue-sizing assignments of one topology at once.
+
+    Args:
+        lis: The system; compiled once, shared by the whole batch.
+        assignments: One ``{channel id: extra queue slots}`` mapping per
+            configuration (``None`` or ``[{}]`` = the system as built).
+    """
+
+    def __init__(
+        self,
+        lis: LisGraph,
+        assignments: Sequence[Mapping[int, int]] | None = None,
+    ) -> None:
+        self.lis = lis
+        self.compiled = compile_lis(lis)
+        self.assignments = [
+            {int(c): int(x) for c, x in a.items()}
+            for a in (assignments if assignments is not None else [{}])
+        ]
+        if not self.assignments:
+            raise ValueError("empty assignment batch")
+
+    @property
+    def width(self) -> int:
+        return len(self.assignments)
+
+    def run(
+        self, clocks: int, warmup: int = 0, record: bool = False
+    ) -> BatchRunResult:
+        """Advance every configuration ``clocks`` cycles; firing counts
+        are accumulated after the first ``warmup`` cycles."""
+        if clocks <= 0:
+            raise ValueError("clocks must be positive")
+        if not 0 <= warmup < clocks:
+            raise ValueError("warmup must satisfy 0 <= warmup < clocks")
+        compiled = self.compiled
+        tokens = compiled.initial_tokens(self.assignments)
+        counts = np.zeros(
+            (len(self.assignments), compiled.n_nodes), dtype=tokens.dtype
+        )
+        occupancy = tokens[:, compiled.occ_cols].copy()
+        history = (
+            np.zeros(
+                (clocks, len(self.assignments), compiled.n_nodes),
+                dtype=bool,
+            )
+            if record
+            else None
+        )
+        step_batch(
+            compiled,
+            tokens,
+            clocks,
+            counts=counts,
+            count_from=warmup,
+            occupancy=occupancy,
+            history=history,
+        )
+        return BatchRunResult(
+            compiled,
+            self.assignments,
+            clocks,
+            warmup,
+            counts,
+            occupancy,
+            history,
+        )
+
+
+class FastSimulator:
+    """Single-configuration front with the reference simulators' API.
+
+    ``run`` is incremental (repeated calls continue the same execution)
+    and returns the cumulative data-carrying :class:`Trace`.
+    """
+
+    def __init__(
+        self,
+        lis: LisGraph,
+        behaviors: Mapping[Hashable, ShellBehavior] | None = None,
+        extra_tokens: dict[int, int] | None = None,
+    ) -> None:
+        self.lis = lis
+        self.compiled = compile_lis(lis)
+        extra = {
+            int(c): int(x) for c, x in (extra_tokens or {}).items()
+        }
+        self._tokens = self.compiled.initial_tokens([extra])
+        self._occupancy = self._tokens[:, self.compiled.occ_cols].copy()
+        self._replayer = TraceReplayer(self.compiled, behaviors)
+        self.clocks = 0
+
+    @property
+    def trace(self) -> Trace:
+        return self._replayer.trace
+
+    def run(self, clocks: int) -> Trace:
+        if clocks <= 0:
+            raise ValueError("clocks must be positive")
+        history = np.zeros(
+            (clocks, 1, self.compiled.n_nodes), dtype=bool
+        )
+        step_batch(
+            self.compiled,
+            self._tokens,
+            clocks,
+            occupancy=self._occupancy,
+            history=history,
+        )
+        self._replayer.extend(history[:, 0, :])
+        self.clocks += clocks
+        return self.trace
+
+    def throughput(self, shell: Hashable, skip: int = 0) -> Fraction:
+        return self.trace.throughput(shell, skip=skip)
+
+    def max_queue_occupancy(self) -> dict[int, int]:
+        """Peak occupancy per channel's shell input queue (see
+        ``TraceSimulator.max_queue_occupancy``)."""
+        return {
+            channel: int(self._occupancy[0, k])
+            for k, channel in enumerate(self.compiled.occ_channels)
+        }
+
+
+def simulate_fast(
+    lis: LisGraph,
+    clocks: int,
+    behaviors: Mapping[Hashable, ShellBehavior] | None = None,
+    extra_tokens: dict[int, int] | None = None,
+) -> Trace:
+    """Convenience wrapper: build a :class:`FastSimulator` and run it."""
+    return FastSimulator(lis, behaviors, extra_tokens).run(clocks)

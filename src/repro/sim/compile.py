@@ -1,0 +1,160 @@
+"""Compile a :class:`~repro.core.LisGraph` into flat kernel arrays.
+
+The doubled marked graph is flattened once into column-parallel form:
+every *place* becomes one column of a token matrix, sorted by consumer
+transition so the kernel can evaluate AND-firing for all transitions
+with a single grouped ``minimum.reduceat``.  The compiled object also
+keeps the per-node forward-place wiring needed to replay data values
+(:mod:`repro.sim.replay`) and the column of each channel's shell-side
+("sizable") backedge, which is where queue-sizing assignments inject
+their extra tokens -- the batch dimension of the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.lis_graph import LisError, LisGraph
+
+__all__ = ["CompiledSystem", "compile_lis"]
+
+
+@dataclass(frozen=True)
+class CompiledSystem:
+    """A LIS lowered to flat arrays (one doubled-marked-graph place per
+    column, sorted by consumer node index, then place key)."""
+
+    #: Transition names in node-index order (shells, relays, stages).
+    node_names: tuple[Hashable, ...]
+    node_index: Mapping[Hashable, int]
+    is_shell: tuple[bool, ...]
+    #: Producer / consumer node index per place column, shape (P,).
+    src: np.ndarray
+    dst: np.ndarray
+    #: Initial marking per place column, shape (P,).
+    tokens0: np.ndarray
+    #: Group offsets into the column axis for ``minimum.reduceat`` --
+    #: one group per node that has at least one input place.
+    group_starts: np.ndarray
+    #: Node index of each reduceat group, shape (G,).
+    group_nodes: np.ndarray
+    #: Columns of shell-side forward places (the consumer queues whose
+    #: peak occupancy :meth:`BatchRunResult.max_queue_occupancy` reports).
+    occ_cols: np.ndarray
+    #: Channel id per occupancy column.
+    occ_channels: tuple[int, ...]
+    #: Channel id -> column of its sizable backedge.
+    sizable_col: Mapping[int, int]
+    #: Per node: ((channel key, fwd place column), ...) of its input /
+    #: output forward places -- the FIFO wiring the replayer walks.
+    in_fwd: tuple[tuple[tuple[Hashable, int], ...], ...]
+    out_fwd: tuple[tuple[tuple[Hashable, int], ...], ...]
+    #: Per node: real output channel ids (shells only; () elsewhere).
+    out_channels: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_places(self) -> int:
+        return int(self.src.shape[0])
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_names)
+
+    def initial_tokens(
+        self, assignments: Sequence[Mapping[int, int]]
+    ) -> np.ndarray:
+        """The (B, P) initial marking for a batch of queue-sizing
+        assignments (channel id -> extra tokens on its sizable
+        backedge), validated like ``doubled_marked_graph``."""
+        if not assignments:
+            raise ValueError("empty assignment batch")
+        tokens = np.tile(self.tokens0, (len(assignments), 1))
+        for b, extra in enumerate(assignments):
+            unknown = set(extra) - set(self.sizable_col)
+            if unknown:
+                raise LisError(
+                    f"extra tokens on unknown channels: {sorted(unknown)}"
+                )
+            for cid, count in extra.items():
+                if count < 0:
+                    raise LisError(
+                        f"negative extra tokens on channel {cid}"
+                    )
+                tokens[b, self.sizable_col[cid]] += count
+        return tokens
+
+
+def compile_lis(lis: LisGraph) -> CompiledSystem:
+    """Flatten ``lis.doubled_marked_graph()`` into a :class:`CompiledSystem`."""
+    mg = lis.doubled_marked_graph()
+    graph = mg.graph
+    node_names = tuple(graph.nodes)
+    node_index = {name: i for i, name in enumerate(node_names)}
+    is_shell = tuple(
+        graph.node_data(name).get("kind") not in ("relay", "stage")
+        for name in node_names
+    )
+
+    places = sorted(
+        mg.places, key=lambda p: (node_index[p.dst], p.key)
+    )
+    src = np.array(
+        [node_index[p.src] for p in places], dtype=np.int64
+    ).reshape(-1)
+    dst = np.array(
+        [node_index[p.dst] for p in places], dtype=np.int64
+    ).reshape(-1)
+    tokens0 = np.array(
+        [p.data["tokens"] for p in places], dtype=np.int64
+    ).reshape(-1)
+
+    group_starts: list[int] = []
+    group_nodes: list[int] = []
+    for col, place in enumerate(places):
+        node = node_index[place.dst]
+        if not group_nodes or group_nodes[-1] != node:
+            group_starts.append(col)
+            group_nodes.append(node)
+
+    occ_cols: list[int] = []
+    occ_channels: list[int] = []
+    sizable_col: dict[int, int] = {}
+    in_fwd: list[list[tuple[Hashable, int]]] = [[] for _ in node_names]
+    out_fwd: list[list[tuple[Hashable, int]]] = [[] for _ in node_names]
+    for col, place in enumerate(places):
+        data = place.data
+        if data["kind"] == "fwd":
+            in_fwd[node_index[place.dst]].append((data["channel"], col))
+            out_fwd[node_index[place.src]].append((data["channel"], col))
+            if not data.get("internal") and is_shell[node_index[place.dst]]:
+                occ_cols.append(col)
+                occ_channels.append(data["channel"])
+        elif data.get("sizable"):
+            sizable_col[data["channel"]] = col
+
+    out_channels = tuple(
+        tuple(sorted(e.key for e in lis.system.out_edges(name)))
+        if is_shell[i] and name in lis.system
+        else ()
+        for i, name in enumerate(node_names)
+    )
+
+    return CompiledSystem(
+        node_names=node_names,
+        node_index=node_index,
+        is_shell=is_shell,
+        src=src,
+        dst=dst,
+        tokens0=tokens0,
+        group_starts=np.array(group_starts, dtype=np.int64),
+        group_nodes=np.array(group_nodes, dtype=np.int64),
+        occ_cols=np.array(occ_cols, dtype=np.int64),
+        occ_channels=tuple(occ_channels),
+        sizable_col=sizable_col,
+        in_fwd=tuple(tuple(pairs) for pairs in in_fwd),
+        out_fwd=tuple(tuple(pairs) for pairs in out_fwd),
+        out_channels=out_channels,
+    )

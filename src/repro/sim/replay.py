@@ -1,0 +1,102 @@
+"""Reconstruct data-carrying traces from a firing schedule.
+
+The vectorized kernel tracks anonymous tokens only -- shell behaviours
+are arbitrary Python callables and cannot be vectorized.  But given
+the boolean firing history the kernel records, the data values are
+fully determined: this module re-runs the *value* half of
+:class:`~repro.lis.trace_sim.TraceSimulator` (FIFOs on forward places,
+initial-latched outputs at firing 0, per-channel unwrap of mapping
+results) against that schedule, producing a :class:`~repro.lis.
+protocol.Trace` identical to the reference simulator's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Hashable, Mapping
+
+from ..lis.protocol import TAU, ShellBehavior, Trace
+from .compile import CompiledSystem
+
+__all__ = ["TraceReplayer"]
+
+_INIT = object()  # placeholder carried by initial tokens (never read)
+
+
+class TraceReplayer:
+    """Feed firing rows (one boolean per node, in compiled node order)
+    and accumulate the resulting data-carrying :class:`Trace`."""
+
+    def __init__(
+        self,
+        compiled: CompiledSystem,
+        behaviors: Mapping[Hashable, ShellBehavior] | None = None,
+    ) -> None:
+        self.compiled = compiled
+        self.behaviors = dict(behaviors or {})
+        self.trace = Trace()
+        self._firing_index = [0] * compiled.n_nodes
+        # One FIFO per forward place, keyed by column; initial tokens
+        # carry reset placeholders exactly like the trace simulator.
+        self._fifo: dict[int, deque] = {}
+        for pairs in compiled.in_fwd:
+            for _channel, col in pairs:
+                self._fifo[col] = deque(
+                    [_INIT] * int(compiled.tokens0[col])
+                )
+
+    def behavior_of(self, node: Hashable) -> ShellBehavior:
+        return self.behaviors.setdefault(node, ShellBehavior())
+
+    def _fire_value(self, i: int, consumed: dict[Hashable, Any]) -> Any:
+        if not self.compiled.is_shell[i]:
+            (value,) = consumed.values()
+            return value
+        name = self.compiled.node_names[i]
+        behavior = self.behavior_of(name)
+        if self._firing_index[i] == 0:
+            out = self.compiled.out_channels[i]
+            if out:
+                return {cid: behavior.initial_for(cid) for cid in out}
+            return behavior.initial
+        clean = {
+            cid: val for cid, val in consumed.items() if val is not _INIT
+        }
+        return behavior.compute(clean)
+
+    def _step(self, row) -> None:
+        compiled = self.compiled
+        fired = [i for i in range(compiled.n_nodes) if row[i]]
+        consumed: dict[int, dict[Hashable, Any]] = {}
+        for i in fired:
+            consumed[i] = {
+                channel: self._fifo[col].popleft()
+                for channel, col in compiled.in_fwd[i]
+            }
+        emitted: dict[int, Any] = {}
+        for i in fired:
+            value = self._fire_value(i, consumed[i])
+            emitted[i] = value
+            for channel, col in compiled.out_fwd[i]:
+                if isinstance(value, Mapping) and channel in value:
+                    self._fifo[col].append(value[channel])
+                else:
+                    self._fifo[col].append(value)
+            self._firing_index[i] += 1
+        for i, name in enumerate(compiled.node_names):
+            if i in emitted:
+                value = emitted[i]
+                if isinstance(value, Mapping):
+                    display = value[min(value)] if value else TAU
+                else:
+                    display = value
+                self.trace.record(name, display, True)
+            else:
+                self.trace.record(name, TAU, False)
+        self.trace.clocks += 1
+
+    def extend(self, rows) -> Trace:
+        """Replay an iterable of firing rows (each indexable by node)."""
+        for row in rows:
+            self._step(row)
+        return self.trace

@@ -56,6 +56,9 @@ class ExhaustiveReport:
     timeouts: dict[str, int]
     relays_per_placement: int
     queue: int
+    #: Optional empirical verification: degraded placements re-checked
+    #: by the vectorized simulator (``simulate_clocks=`` was set).
+    simulation: dict | None = None
 
     @property
     def degraded(self) -> list[PlacementResult]:
@@ -131,6 +134,8 @@ class ExhaustiveReport:
                             statistics.median(times)
                         )
         out["timeouts"] = dict(self.timeouts)
+        if self.simulation is not None:
+            out["simulation"] = dict(self.simulation)
         return out
 
 
@@ -196,6 +201,9 @@ def run_exhaustive_insertion(
     jobs: int | str | None = None,
     cache_dir=None,
     engine=None,
+    simulate_clocks: int | None = None,
+    simulate_warmup: int = 100,
+    simulate_tolerance: Fraction = Fraction(1, 20),
 ) -> ExhaustiveReport:
     """The Table V sweep, fanned out through the analysis engine.
 
@@ -215,6 +223,15 @@ def run_exhaustive_insertion(
         engine: An existing :class:`~repro.engine.AnalysisEngine` to
             submit through (kept open); otherwise a transient one is
             created.
+        simulate_clocks: When set, every degraded placement is also
+            *simulated* for this many measured cycles through the
+            vectorized ``simulate_batch`` op, and the measured rate is
+            checked against the analytic MST; mismatches land in
+            ``report.simulation["mismatches"]``.
+        simulate_warmup: Discarded leading cycles of each verification
+            run.
+        simulate_tolerance: Allowed |measured - analytic| gap (the
+            finite horizon makes measured rates O(1/clocks) off).
     """
     from ..core.serialize import lis_to_json
     from ..engine import AnalysisEngine
@@ -238,11 +255,25 @@ def run_exhaustive_insertion(
         )
         for combo in combos
     ]
+    def _sweep(eng) -> tuple[list, dict | None]:
+        placements = eng.run(tasks)
+        simulation = None
+        if simulate_clocks is not None:
+            simulation = _verify_by_simulation(
+                eng,
+                base,
+                placements,
+                clocks=simulate_clocks,
+                warmup=simulate_warmup,
+                tolerance=simulate_tolerance,
+            )
+        return placements, simulation
+
     if engine is not None:
-        placements = engine.run(tasks)
+        placements, simulation = _sweep(engine)
     else:
         with AnalysisEngine(jobs=jobs, cache_dir=cache_dir) as local:
-            placements = local.run(tasks)
+            placements, simulation = _sweep(local)
     timeouts: dict[str, int] = {}
     for placement in placements:
         for variant, tokens in placement.optimal_tokens.items():
@@ -253,4 +284,54 @@ def run_exhaustive_insertion(
         timeouts=timeouts,
         relays_per_placement=relays_per_placement,
         queue=queue,
+        simulation=simulation,
     )
+
+
+def _verify_by_simulation(
+    engine,
+    base: LisGraph,
+    placements,
+    clocks: int,
+    warmup: int,
+    tolerance: Fraction,
+) -> dict:
+    """Empirically confirm the analytic degraded MSTs: simulate each
+    degraded placement through the ``simulate_batch`` op and compare
+    the measured common rate against ``PlacementResult.actual``."""
+    from ..core.serialize import lis_to_json
+
+    degraded = [p for p in placements if p.degraded]
+    sim_tasks = []
+    for placement in degraded:
+        trial = base.copy()
+        for cid in placement.channels:
+            trial.insert_relay(cid)
+        sim_tasks.append(
+            (
+                "simulate_batch",
+                lis_to_json(trial),
+                {"assignments": [{}], "clocks": clocks, "warmup": warmup},
+            )
+        )
+    mismatches = []
+    for placement, result in zip(degraded, engine.run(sim_tasks)):
+        # The COFDM graph is weakly connected, so the doubled graph is
+        # strongly connected and every shell settles to the MST; the
+        # minimum measured rate is the tightest comparator.
+        measured = min(result[0]["throughput"].values())
+        if abs(measured - placement.actual) > tolerance:
+            mismatches.append(
+                {
+                    "channels": placement.channels,
+                    "analytic": placement.actual,
+                    "measured": measured,
+                }
+            )
+    return {
+        "checked": len(degraded),
+        "clocks": clocks,
+        "warmup": warmup,
+        "tolerance": tolerance,
+        "mismatches": mismatches,
+    }

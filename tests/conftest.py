@@ -1,0 +1,24 @@
+"""Shared test configuration: Hypothesis profiles.
+
+* ``dev`` (default) -- the library default of 100 examples, with the
+  deadline disabled (simulation-heavy properties have long tails).
+* ``ci`` -- bounded examples for continuous integration; select with
+  ``HYPOTHESIS_PROFILE=ci``.
+* ``thorough`` -- a deeper sweep for local soak runs.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("dev", max_examples=100, deadline=None)
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("thorough", max_examples=500, deadline=None)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,81 @@
+"""The ``simulate_batch`` engine op: caching, parallel determinism."""
+
+from fractions import Fraction
+
+from repro.engine import AnalysisEngine
+from repro.gen import GeneratorConfig, fig1_lis, fig15_lis, generate_lis
+from repro.sim import BatchSimulator
+
+
+def batch_task(lis, assignments, clocks=200, warmup=50):
+    return (
+        "simulate_batch",
+        lis,
+        {"assignments": assignments, "clocks": clocks, "warmup": warmup},
+    )
+
+
+def test_matches_direct_batch_simulator():
+    lis = fig1_lis()
+    assignments = [{}, {1: 1}]
+    with AnalysisEngine() as eng:
+        (result,) = eng.run([batch_task(lis, assignments, clocks=300, warmup=60)])
+    direct = BatchSimulator(lis, assignments).run(360, warmup=60)
+    for b in range(2):
+        assert result[b]["max_occupancy"] == direct.max_queue_occupancy(b)
+        for shell, rate in result[b]["throughput"].items():
+            assert rate == direct.throughput(b, shell)
+    assert result[0]["throughput"]["A"] == Fraction(2, 3)
+    assert result[1]["throughput"]["A"] == Fraction(1)
+
+
+def test_identical_batch_hits_the_cache():
+    lis = fig15_lis()
+    task = batch_task(lis, [{}, {5: 1, 6: 1}])
+    with AnalysisEngine() as eng:
+        first = eng.run([task])
+        second = eng.run([task])
+        assert first == second
+        op = eng.stats.ops["simulate_batch"]
+        assert op.calls == 2
+        assert op.misses == 1
+        assert op.hits == 1
+
+
+def test_different_assignments_miss_the_cache():
+    lis = fig15_lis()
+    with AnalysisEngine() as eng:
+        eng.run([batch_task(lis, [{}])])
+        eng.run([batch_task(lis, [{5: 1}])])
+        assert eng.stats.ops["simulate_batch"].misses == 2
+
+
+def test_parallel_results_identical_and_ordered(tmp_path):
+    systems = [
+        generate_lis(
+            GeneratorConfig(
+                v=14, s=3, c=2, rs=4, rp=True, policy="scc", seed=8800 + i
+            )
+        )
+        for i in range(5)
+    ]
+    tasks = [batch_task(lis, [{}, {0: 1}], clocks=120, warmup=30) for lis in systems]
+    with AnalysisEngine() as serial_eng:
+        serial = serial_eng.run(tasks)
+    with AnalysisEngine(jobs=2) as par_eng:
+        parallel = par_eng.run(tasks)
+    with AnalysisEngine(jobs=2, cache_dir=tmp_path / "c") as cold_eng:
+        cold = cold_eng.run(tasks)
+    assert parallel == serial  # submission order, bit-for-bit
+    assert cold == serial
+
+
+def test_disk_cache_roundtrip(tmp_path):
+    lis = fig1_lis()
+    task = batch_task(lis, [{}, {1: 1}])
+    with AnalysisEngine(cache_dir=tmp_path / "c") as eng:
+        first = eng.run([task])
+    with AnalysisEngine(cache_dir=tmp_path / "c") as warm:
+        second = warm.run([task])
+        assert warm.stats.ops["simulate_batch"].disk_hits == 1
+    assert first == second

@@ -13,6 +13,7 @@ from repro.lis.equivalence import (
 )
 from repro.lis.trace_sim import simulate_trace
 from repro.lis.protocol import TAU
+from tests.strategies import lis_systems
 
 
 def counting_behaviors():
@@ -153,6 +154,24 @@ def test_any_reconfiguration_is_latency_equivalent(upper, lower, q, latency):
     variant = build(upper, lower, q, latency)
     report = check_latency_equivalence(
         baseline, variant, counting_behaviors(), clocks=200, min_items=8
+    )
+    assert report.equivalent
+
+
+@given(
+    system=lis_systems(max_shells=4, max_channels=5, min_channels=1),
+    bump=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=25, deadline=None)
+def test_generated_requeue_is_latency_equivalent(system, bump):
+    """On arbitrary generated topologies, growing every queue leaves
+    each shell's valid output stream unchanged (Theorem 1 territory)."""
+    lis, make_behaviors = system
+    variant = lis.copy()
+    for cid in variant.channel_ids():
+        variant.set_queue(cid, variant.queue(cid) + bump)
+    report = check_latency_equivalence(
+        lis, variant, make_behaviors, clocks=200, min_items=5
     )
     assert report.equivalent
 

@@ -5,9 +5,9 @@ from fractions import Fraction
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.core import LisGraph, actual_mst, relay_name
+from repro.core import actual_mst, relay_name
+from tests.strategies import lis_graphs
 from repro.gen import fig1_lis, fig15_lis, ring_lis, tree_lis
 from repro.lis import (
     TAU,
@@ -128,21 +128,21 @@ def test_equivalence_ring():
     assert_equivalent(ring_lis(5, relays=3))
 
 
-@given(
-    upper=st.integers(min_value=0, max_value=3),
-    lower=st.integers(min_value=0, max_value=3),
-    q=st.integers(min_value=1, max_value=3),
-    ring_relays=st.integers(min_value=0, max_value=2),
-)
+@given(lis=lis_graphs(max_shells=4, max_channels=6, max_relays=3))
 @settings(max_examples=25, deadline=None)
-def test_equivalence_on_random_small_systems(upper, lower, q, ring_relays):
+def test_equivalence_on_random_small_systems(lis):
     """Firing patterns of both simulators coincide exactly."""
-    lis = LisGraph(default_queue=q)
-    lis.add_channel("A", "B", relays=upper)
-    lis.add_channel("A", "B", relays=lower)
-    lis.add_channel("B", "C")
-    lis.add_channel("C", "B", relays=ring_relays)
     assert_equivalent(lis, clocks=50)
+
+
+@given(lis=lis_graphs(max_shells=4, max_channels=5, max_queue=3))
+@settings(max_examples=25, deadline=None)
+def test_max_queue_occupancy_matches_trace_sim(lis):
+    trace = TraceSimulator(lis)
+    trace.run(50)
+    rtl = RtlSimulator(lis)
+    rtl.run(50)
+    assert rtl.max_queue_occupancy() == trace.max_queue_occupancy()
 
 
 def test_crossvalidate_helper():

@@ -1,0 +1,117 @@
+"""Differential cross-validation: the vectorized kernel is cycle-exact
+against both reference simulators, and measured throughput converges
+to the analytic MST.
+
+The two `@given` properties below each run 100 examples under the
+default ``dev`` Hypothesis profile, so one full run checks well over
+200 generated systems (plus every paper example) for exact agreement
+of firing patterns, data values, throughput, and queue occupancy.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import actual_mst, size_queues
+from repro.gen import (
+    GeneratorConfig,
+    fig1_lis,
+    fig2_right_lis,
+    fig10_limiter_lis,
+    fig15_lis,
+    generate_lis,
+    ring_lis,
+    tree_lis,
+    uplink_downlink_lis,
+)
+from repro.lis import crossvalidate, measured_throughput
+from repro.sim import differential_check
+from tests.strategies import arithmetic_behaviors, lis_systems
+
+PAPER_EXAMPLES = {
+    "fig1": fig1_lis,
+    "fig2_right": fig2_right_lis,
+    "fig10": fig10_limiter_lis,
+    "fig15": fig15_lis,
+    "uplink_downlink": uplink_downlink_lis,
+    "ring5": lambda: ring_lis(5, relays=3),
+    "tree": lambda: tree_lis(depth=2, relays_per_channel=2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_EXAMPLES))
+def test_paper_examples_cycle_exact(name):
+    lis = PAPER_EXAMPLES[name]()
+    params = {
+        shell: (3 + i, i, i) for i, shell in enumerate(lis.shells())
+    }
+    report = differential_check(
+        lis, clocks=120, behaviors=lambda: arithmetic_behaviors(lis, params)
+    )
+    assert report.agreed, (name, report.failures)
+    assert len(set(report.throughput.values())) == 1
+
+
+def test_fig15_with_queue_sizing_fix_cycle_exact():
+    lis = fig15_lis()
+    fix = size_queues(lis, method="exact").extra_tokens
+    report = differential_check(lis, clocks=200, extra_tokens=fix)
+    assert report.agreed, report.failures
+    # Whole-run rate (no warmup skipped): O(1/clocks) from the MST.
+    assert abs(report.throughput["fast"] - Fraction(5, 6)) < Fraction(1, 40)
+
+
+@given(system=lis_systems(max_shells=5, max_channels=8))
+@settings(deadline=None)
+def test_generated_systems_cycle_exact(system):
+    """Traces, values, throughput, occupancy: all three backends equal."""
+    lis, make_behaviors = system
+    report = differential_check(lis, clocks=50, behaviors=make_behaviors)
+    assert report.agreed, report.failures
+
+
+@given(
+    system=lis_systems(
+        max_shells=4, max_channels=6, max_relays=1, max_queue=2, max_latency=3
+    )
+)
+@settings(deadline=None)
+def test_pipelined_cores_cycle_exact(system):
+    """Multi-cycle shells expand identically in all three backends."""
+    lis, make_behaviors = system
+    report = differential_check(lis, clocks=50, behaviors=make_behaviors)
+    assert report.agreed, report.failures
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=9999),
+    v=st.integers(min_value=12, max_value=24),
+)
+@settings(max_examples=20, deadline=None)
+def test_measured_throughput_converges_to_mst(seed, v):
+    """On generator-scale systems the fast backend's long-run rate
+    lands within O(1/clocks) of the analytic MST -- and matches the
+    trace simulator's measurement exactly."""
+    lis = generate_lis(
+        GeneratorConfig(
+            v=v, s=3, c=2, rs=4, rp=True, policy="scc", seed=seed
+        )
+    )
+    probe = lis.shells()[0]
+    fast = measured_throughput(
+        lis, probe, clocks=400, warmup=100, simulator="fast"
+    )
+    trace = measured_throughput(
+        lis, probe, clocks=400, warmup=100, simulator="trace"
+    )
+    assert fast == trace
+    assert abs(fast - actual_mst(lis).mst) <= Fraction(1, 20)
+
+
+def test_crossvalidate_includes_fast_backend():
+    report = crossvalidate(fig15_lis(), clocks=300, warmup=100)
+    assert report["agreed"]
+    assert report["fast"] == report["trace"]
+    assert report["analytic"] == Fraction(3, 4)

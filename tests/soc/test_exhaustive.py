@@ -70,3 +70,25 @@ def test_single_relay_q1_some_placements_degrade():
     assert report.degraded  # at least one of 30 placements
     base = cofdm_transmitter()
     assert ideal_mst(base).mst == actual_mst(base).mst == Fraction(1)
+
+def test_simulation_verification_of_degraded_placements():
+    """The batch simulator independently confirms the analytic rate of
+    every degraded placement found by the sweep."""
+    report = run_exhaustive_insertion(
+        queue=1,
+        relays_per_placement=1,
+        limit=25,
+        run_exact=False,
+        simulate_clocks=200,
+    )
+    sim = report.simulation
+    assert sim is not None
+    assert sim["checked"] >= 1
+    assert sim["mismatches"] == []
+    assert report.summary()["simulation"]["checked"] == sim["checked"]
+
+
+def test_simulation_skipped_by_default():
+    report = run_exhaustive_insertion(limit=6, run_exact=False)
+    assert report.simulation is None
+    assert "simulation" not in report.summary()

@@ -155,6 +155,73 @@ def test_simulate_rtl_autoprobe(fig1_file, capsys):
     assert "simulator:       rtl" in out
 
 
+def test_simulate_fast_backend(fig1_file, capsys):
+    assert main(["simulate", str(fig1_file), "--backend", "fast"]) == 0
+    out = capsys.readouterr().out
+    assert "simulator:       fast" in out
+    assert "analytic MST:    2/3" in out
+
+
+def test_simulate_backend_wins_over_simulator_alias(fig1_file, capsys):
+    args = [
+        "simulate", str(fig1_file),
+        "--backend", "fast", "--simulator", "trace",
+    ]
+    assert main(args) == 0
+    assert "simulator:       fast" in capsys.readouterr().out
+
+
+def test_simulate_bad_backend_name_rejected(fig1_file, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["simulate", str(fig1_file), "--backend", "verilog"])
+    assert exc.value.code == 2
+
+
+def test_simulate_batch(fig1_file, tmp_path, capsys):
+    batch = tmp_path / "batch.json"
+    batch.write_text(json.dumps([{}, {"1": 1}]))
+    args = [
+        "simulate", str(fig1_file),
+        "--batch", str(batch),
+        "--clocks", "300", "--warmup", "60",
+        "--jobs", "2",
+        "--cache", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "backend:         fast (batched)" in out
+    assert "assignments:     2" in out
+    assert "measured=2/3" in out  # the as-built system
+    assert "measured=1 " in out  # the repaired assignment
+    assert "analytic=1 " in out
+
+    # A warm re-run is served from the cache.
+    assert main(args) == 0
+    assert "measured=2/3" in capsys.readouterr().out
+
+
+def test_simulate_batch_requires_fast_backend(fig1_file, tmp_path, capsys):
+    batch = tmp_path / "batch.json"
+    batch.write_text(json.dumps([{}]))
+    args = [
+        "simulate", str(fig1_file),
+        "--batch", str(batch), "--backend", "rtl",
+    ]
+    assert main(args) == 2
+    assert "requires the fast backend" in capsys.readouterr().err
+
+
+def test_simulate_batch_bad_file(fig1_file, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["simulate", str(fig1_file), "--batch", str(bad)]) == 2
+    assert "bad --batch file" in capsys.readouterr().err
+    empty = tmp_path / "empty.json"
+    empty.write_text("[]")
+    assert main(["simulate", str(fig1_file), "--batch", str(empty)]) == 2
+    assert "no assignments" in capsys.readouterr().err
+
+
 def test_dot_views(fig1_file, capsys):
     for view in ("system", "ideal", "doubled"):
         assert main(["dot", str(fig1_file), "--view", view]) == 0
