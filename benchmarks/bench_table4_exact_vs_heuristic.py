@@ -29,6 +29,17 @@ def test_table4_exact_vs_heuristic(benchmark, publish, engine):
     )
 
     assert len(rows) == 4
+
+    # Counter-verified sharing contract: each computed trial enumerates
+    # the collapsed system's cycles exactly once -- the count, the
+    # deficient filter, and both solvers' TD instance are all served
+    # from that one (cached) enumeration.
+    computed = engine.stats.op("table4_trial").misses
+    counters = engine.stats.context
+    assert counters.get("cycles.miss", 0) == computed
+    if computed:
+        assert counters.get("cycles.hit", 0) >= computed
+
     for row in rows:
         # Published (V, E) shapes: E tracks V + chords + inter edges.
         assert abs(row.avg_edges - (row.v + row.s * row.c + row.avg_inter_scc_edges)) < 6

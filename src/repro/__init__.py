@@ -26,6 +26,10 @@ Subpackages:
 * :mod:`repro.core` -- the paper's contribution: marked graphs, MST,
   topology classes, the queue-sizing problem, heuristic/exact/fixed
   solvers, relay-station insertion, the NP-completeness reduction.
+* :mod:`repro.analysis` -- the shared analysis :class:`Context`: an
+  immutable, content-fingerprinted view of one system that memoizes
+  every derived artifact (lowerings, MSTs, cycle enumeration, SCC
+  collapse, compiled arrays) so nothing is computed twice.
 * :mod:`repro.lis` -- two cycle-accurate simulators plus environment
   models for open systems.
 * :mod:`repro.sim` -- the NumPy-vectorized batch simulation kernel,
@@ -60,11 +64,12 @@ from .core import (
     register_solver,
     size_queues,
 )
+from .analysis import Context, get_context
 from .engine import AnalysisEngine, EngineStats, analyze_many
 from .gen import GeneratorConfig, generate_lis
 from .lis import RtlSimulator, ShellBehavior, TraceSimulator, simulate_trace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # The vectorized backend needs numpy, which is an optional dependency;
 # resolve its names lazily so `import repro` works without it.
@@ -83,6 +88,7 @@ __all__ = [
     "AnalysisEngine",
     "AnalysisReport",
     "BatchSimulator",
+    "Context",
     "EngineStats",
     "FastSimulator",
     "GeneratorConfig",
@@ -103,6 +109,7 @@ __all__ = [
     "degradation_ratio",
     "fixed_qs_mst",
     "generate_lis",
+    "get_context",
     "get_solver",
     "ideal_mst",
     "minimal_fixed_q",

@@ -1,0 +1,30 @@
+"""Shared, content-fingerprinted analysis pipeline.
+
+``repro.analysis`` owns the derived-artifact layer between the raw
+:class:`~repro.core.LisGraph` model and everything that consumes it
+(solvers, simulators, the engine, the CLI): a :class:`Context` freezes
+one system, fingerprints its canonical JSON, and memoizes every
+Section-III/VII artifact so each is computed at most once per content.
+
+See :mod:`repro.analysis.context` for the design notes.
+"""
+
+from .context import (
+    Context,
+    ContextStats,
+    clear_registry,
+    context_from_json,
+    get_context,
+    global_stats,
+    reset_global_stats,
+)
+
+__all__ = [
+    "Context",
+    "ContextStats",
+    "clear_registry",
+    "context_from_json",
+    "get_context",
+    "global_stats",
+    "reset_global_stats",
+]

@@ -1,0 +1,524 @@
+"""Content-fingerprinted analysis contexts (lower once, share everywhere).
+
+Every layer of the stack derives the same Section-III/VII artifacts
+from a :class:`~repro.core.LisGraph`: the ideal and doubled marked
+graphs, the deficient-cycle enumeration, MSTs, the rule-4 SCC collapse
+and the :mod:`repro.sim` flat arrays.  Before this module each layer
+re-derived them independently -- the doubled graph was re-lowered at
+roughly ten call sites and the (exponential!) cycle enumeration was
+repeated per solver even when ``bench_table4`` compares exact vs.
+heuristic on the *same* instance.
+
+A :class:`Context` wraps a frozen snapshot of a LIS and memoizes each
+derived artifact, computed at most once per content fingerprint:
+
+* the fingerprint is the SHA-256 of the canonical JSON form
+  (:func:`repro.core.serialize.lis_to_json`) -- the same bytes the
+  analysis engine hashes into its cache key, so engine keys and
+  Context identity agree;
+* marked graphs are handed out as **defensive copies** (their
+  ``Edge.data`` token dicts are mutable, and simulators mutate them),
+  so no caller can poison the cached masters;
+* one structural cycle enumeration serves *every* extra-token variant:
+  the doubled graph's elementary cycles do not depend on token counts,
+  and a queue-sizing assignment adds ``extra[c]`` tokens to a cycle
+  exactly when channel ``c``'s sizable backedge lies on it -- which is
+  precisely :attr:`CycleRecord.channels`;
+* per-artifact hit/miss counters (:class:`ContextStats`) make the
+  sharing observable (``repro stats``, ``EngineStats.context``).
+
+Contexts are safe to share across threads (an internal lock guards
+artifact construction) and across engine ops in one worker process
+(:func:`context_from_json` keeps a small fingerprint-keyed registry).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import TYPE_CHECKING, Hashable
+
+from ..core.cycles import (
+    CycleExplosionError,
+    CycleRecord,
+    collapse_sccs,
+    cycle_records,
+    is_collapsible,
+)
+from ..core.lis_graph import LisError, LisGraph
+from ..core.marked_graph import MarkedGraph
+from ..core.serialize import lis_fingerprint, lis_from_json, lis_to_json
+from ..core.throughput import ThroughputResult, mst
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..sim.compile import CompiledSystem
+
+__all__ = [
+    "Context",
+    "ContextStats",
+    "get_context",
+    "context_from_json",
+    "global_stats",
+    "reset_global_stats",
+]
+
+#: Artifact names whose hit/miss counters :class:`ContextStats` tracks.
+ARTIFACTS = (
+    "ideal_mg",
+    "doubled_mg",
+    "ideal_mst",
+    "actual_mst",
+    "cycles",
+    "collapsed",
+    "compiled",
+)
+
+
+@dataclass
+class ContextStats:
+    """Per-artifact memoization counters, shared by contexts.
+
+    ``counters`` maps ``"<artifact>.hit"`` / ``"<artifact>.miss"`` to
+    counts: a *miss* is a fresh computation (a lowering performed, an
+    enumeration run), a *hit* is a cached artifact served.  For the
+    ``cycles`` artifact a hit counts every request answered from the
+    one structural enumeration -- including all extra-token variants.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record(self, artifact: str, hit: bool) -> None:
+        key = f"{artifact}.{'hit' if hit else 'miss'}"
+        with self._lock:
+            self.counters[key] = self.counters.get(key, 0) + 1
+
+    def count(self, artifact: str, kind: str) -> int:
+        return self.counters.get(f"{artifact}.{kind}", 0)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.counters)
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Counter increments since a :meth:`snapshot`."""
+        now = self.snapshot()
+        out = {}
+        for key, value in now.items():
+            diff = value - before.get(key, 0)
+            if diff:
+                out[key] = diff
+        return out
+
+    def merge(self, counters: dict[str, int]) -> None:
+        with self._lock:
+            for key, value in counters.items():
+                self.counters[key] = self.counters.get(key, 0) + int(value)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.counters.clear()
+
+    def render(self) -> str:
+        """Aligned per-artifact table (the ``repro stats`` view)."""
+        lines = [f"{'artifact':<14}{'computed':>10}{'reused':>9}"]
+        named = [a for a in ARTIFACTS if self.count(a, "hit") or self.count(a, "miss")]
+        extra = sorted(
+            {k.rsplit(".", 1)[0] for k in self.snapshot()} - set(ARTIFACTS)
+        )
+        for artifact in [*named, *extra]:
+            lines.append(
+                f"{artifact:<14}{self.count(artifact, 'miss'):>10}"
+                f"{self.count(artifact, 'hit'):>9}"
+            )
+        return "\n".join(lines)
+
+
+_GLOBAL_STATS = ContextStats()
+
+
+def global_stats() -> ContextStats:
+    """The process-wide counters shared by registry-created contexts."""
+    return _GLOBAL_STATS
+
+
+def reset_global_stats() -> None:
+    _GLOBAL_STATS.reset()
+
+
+def _extra_key(
+    extra_tokens: dict[int, int] | None, channel_ids: set[int]
+) -> tuple[tuple[int, int], ...]:
+    """Canonical hashable key of a queue-sizing assignment.
+
+    Validates like :meth:`LisGraph.doubled_marked_graph` (unknown
+    channels and negative counts raise) and drops zero entries, so
+    ``{}``, ``None`` and ``{cid: 0}`` share one artifact slot.
+    """
+    if not extra_tokens:
+        return ()
+    unknown = set(extra_tokens) - channel_ids
+    if unknown:
+        raise LisError(f"extra tokens on unknown channels: {sorted(unknown)}")
+    for cid, tokens in extra_tokens.items():
+        if tokens < 0:
+            raise LisError(f"negative extra tokens on channel {cid}")
+    return tuple(
+        (cid, tokens)
+        for cid, tokens in sorted(extra_tokens.items())
+        if tokens
+    )
+
+
+class Context:
+    """An immutable analysis context over one LIS content fingerprint.
+
+    The constructor snapshots ``lis`` (a frozen private copy), so later
+    mutation of the caller's graph cannot desynchronize the fingerprint
+    from the cached artifacts.  All artifact methods are memoized and
+    thread-safe; marked graphs come back as defensive copies.
+
+    A Context also exposes the read-only :class:`LisGraph` surface
+    (``system``, ``channels()``, ``latency()``, ...), so graph-reading
+    code -- the simulators, the DOT writer -- accepts either type.
+    """
+
+    def __init__(self, lis: LisGraph, stats: ContextStats | None = None) -> None:
+        if isinstance(lis, Context):  # idempotent construction
+            lis = lis.lis
+        self.lis: LisGraph = lis.copy().freeze()
+        self.lis_json: str = lis_to_json(self.lis)
+        self.fingerprint: str = lis_fingerprint(self.lis_json)
+        self.stats = stats if stats is not None else _GLOBAL_STATS
+        self._lock = threading.RLock()
+        self._channel_ids = set(self.lis.channel_ids())
+        self._ideal: MarkedGraph | None = None
+        self._doubled: dict[tuple, MarkedGraph] = {}
+        self._ideal_mst: ThroughputResult | None = None
+        self._actual_mst: dict[tuple, ThroughputResult] = {}
+        self._records: list[CycleRecord] | None = None
+        self._sizable: dict[int, int] | None = None
+        self._collapsed: tuple["Context", dict[int, int]] | None = None
+        self._compiled: "CompiledSystem | None" = None
+
+    # ------------------------------------------------------------------
+    # Read-only LisGraph surface (duck-typed pass-throughs)
+    # ------------------------------------------------------------------
+    @property
+    def system(self):
+        return self.lis.system
+
+    @property
+    def default_queue(self) -> int:
+        return self.lis.default_queue
+
+    def channels(self):
+        return self.lis.channels()
+
+    def channel(self, cid: int):
+        return self.lis.channel(cid)
+
+    def channel_ids(self) -> list[int]:
+        return self.lis.channel_ids()
+
+    def shells(self):
+        return self.lis.shells()
+
+    def latency(self, shell: Hashable) -> int:
+        return self.lis.latency(shell)
+
+    def queue(self, cid: int) -> int:
+        return self.lis.queue(cid)
+
+    def relays(self, cid: int) -> int:
+        return self.lis.relays(cid)
+
+    def total_relays(self) -> int:
+        return self.lis.total_relays()
+
+    def copy(self) -> LisGraph:
+        """A *mutable* clone of the underlying LIS (leaves the context)."""
+        return self.lis.copy()
+
+    # ------------------------------------------------------------------
+    # Marked-graph lowerings
+    # ------------------------------------------------------------------
+    def _ideal_master(self) -> MarkedGraph:
+        with self._lock:
+            if self._ideal is None:
+                self._ideal = self.lis.ideal_marked_graph()
+                self.stats.record("ideal_mg", hit=False)
+            else:
+                self.stats.record("ideal_mg", hit=True)
+            return self._ideal
+
+    def _doubled_master(
+        self, extra_tokens: dict[int, int] | None = None
+    ) -> MarkedGraph:
+        key = _extra_key(extra_tokens, self._channel_ids)
+        with self._lock:
+            master = self._doubled.get(key)
+            if master is None:
+                master = self.lis.doubled_marked_graph(dict(key))
+                self._doubled[key] = master
+                self.stats.record("doubled_mg", hit=False)
+            else:
+                self.stats.record("doubled_mg", hit=True)
+            return master
+
+    def ideal_marked_graph(self) -> MarkedGraph:
+        """A defensive copy of the cached ideal lowering (Section III-A)."""
+        return self._ideal_master().copy()
+
+    def doubled_marked_graph(
+        self, extra_tokens: dict[int, int] | None = None
+    ) -> MarkedGraph:
+        """A defensive copy of the cached doubled lowering (III-B),
+        one master per distinct extra-token assignment."""
+        return self._doubled_master(extra_tokens).copy()
+
+    def sizable_backedges(self, mg: MarkedGraph | None = None) -> dict[int, int]:
+        """Channel id -> place key of its shell-side backedge.
+
+        Place keys are construction-order deterministic, so the mapping
+        is the same for every doubled lowering of this fingerprint; a
+        caller-supplied ``mg`` (the old call form) is accepted and
+        resolved directly.
+        """
+        if mg is not None:
+            return self.lis.sizable_backedges(mg)
+        with self._lock:
+            if self._sizable is None:
+                self._sizable = self.lis.sizable_backedges(
+                    self._doubled_master()
+                )
+            return dict(self._sizable)
+
+    # ------------------------------------------------------------------
+    # Throughput
+    # ------------------------------------------------------------------
+    def ideal_mst(self) -> ThroughputResult:
+        """Cached :func:`repro.core.ideal_mst` (III-C on the ideal MG)."""
+        with self._lock:
+            if self._ideal_mst is None:
+                self._ideal_mst = mst(self._ideal_master())
+                self.stats.record("ideal_mst", hit=False)
+            else:
+                self.stats.record("ideal_mst", hit=True)
+            result = self._ideal_mst
+        # The witness cycle aliases the master graph's Edge objects.
+        return copy.deepcopy(result)
+
+    def actual_mst(
+        self, extra_tokens: dict[int, int] | None = None
+    ) -> ThroughputResult:
+        """Cached :func:`repro.core.actual_mst` per extra-token key."""
+        key = _extra_key(extra_tokens, self._channel_ids)
+        with self._lock:
+            result = self._actual_mst.get(key)
+            if result is None:
+                result = mst(self._doubled_master(extra_tokens))
+                self._actual_mst[key] = result
+                self.stats.record("actual_mst", hit=False)
+            else:
+                self.stats.record("actual_mst", hit=True)
+        return copy.deepcopy(result)
+
+    # ------------------------------------------------------------------
+    # Cycle enumeration (one structural pass serves every variant)
+    # ------------------------------------------------------------------
+    def _base_records(self, max_cycles: int | None) -> list[CycleRecord]:
+        with self._lock:
+            if self._records is None:
+                # Any *successful* enumeration is complete (max_cycles
+                # only aborts), so the first one serves all budgets.
+                self._records = cycle_records(
+                    self._doubled_master(), max_cycles=max_cycles
+                )
+                self.stats.record("cycles", hit=False)
+            else:
+                self.stats.record("cycles", hit=True)
+            records = self._records
+        if max_cycles is not None and len(records) > max_cycles:
+            raise CycleExplosionError(
+                f"cycle enumeration exceeded budget of {max_cycles}"
+            )
+        return records
+
+    def cycle_records(
+        self,
+        extra_tokens: dict[int, int] | None = None,
+        max_cycles: int | None = None,
+    ) -> list[CycleRecord]:
+        """Elementary cycles of the doubled graph under ``extra_tokens``.
+
+        The cycle *structure* of a doubled marked graph is independent
+        of token counts, and extra queue tokens land exactly on the
+        sizable backedges recorded in :attr:`CycleRecord.channels` --
+        so records for any assignment are the cached structural records
+        with ``sum(extra[c] for c in record.channels)`` added to each
+        token count.  Equivalent to enumerating
+        ``doubled_marked_graph(extra_tokens)`` afresh, without the
+        exponential re-enumeration.
+        """
+        key = _extra_key(extra_tokens, self._channel_ids)
+        records = self._base_records(max_cycles)
+        if not key:
+            return list(records)
+        extra = dict(key)
+        return [
+            replace(
+                record,
+                tokens=record.tokens
+                + sum(extra.get(c, 0) for c in record.channels),
+            )
+            if any(c in extra for c in record.channels)
+            else record
+            for record in records
+        ]
+
+    def deficient_cycles(
+        self,
+        target: Fraction | None = None,
+        extra_tokens: dict[int, int] | None = None,
+        max_cycles: int | None = None,
+    ) -> list[CycleRecord]:
+        """Cycles whose mean falls below ``target`` (default: ideal MST)."""
+        goal = target if target is not None else self.ideal_mst().mst
+        return [
+            record
+            for record in self.cycle_records(extra_tokens, max_cycles)
+            if record.mean < goal
+        ]
+
+    def td_instance(
+        self,
+        target: Fraction | None = None,
+        extra_tokens: dict[int, int] | None = None,
+        max_cycles: int | None = None,
+        simplify: bool = True,
+    ):
+        """A fresh :class:`~repro.core.TokenDeficitInstance` (VII-A).
+
+        TD instances are mutable (solvers simplify them in place), so
+        each call builds a new one -- from the *shared* cycle records.
+        """
+        from ..core.token_deficit import td_instance_from_records
+
+        goal = target if target is not None else self.ideal_mst().mst
+        records = self.deficient_cycles(goal, extra_tokens, max_cycles)
+        return td_instance_from_records(records, goal, simplify=simplify)
+
+    # ------------------------------------------------------------------
+    # Rule-4 SCC collapse and the simulation kernel
+    # ------------------------------------------------------------------
+    def is_collapsible(self) -> bool:
+        return is_collapsible(self.lis)
+
+    def collapsed(self) -> tuple["Context", dict[int, int]]:
+        """The rule-4 collapsed system as a Context of its own, plus the
+        collapsed-channel -> original-channel map (VII-A)."""
+        with self._lock:
+            if self._collapsed is None:
+                collapsed_lis, channel_map = collapse_sccs(self.lis)
+                self._collapsed = (
+                    Context(collapsed_lis, stats=self.stats),
+                    channel_map,
+                )
+                self.stats.record("collapsed", hit=False)
+            else:
+                self.stats.record("collapsed", hit=True)
+            ctx, channel_map = self._collapsed
+            return ctx, dict(channel_map)
+
+    def compiled(self) -> "CompiledSystem":
+        """The :mod:`repro.sim` flat-array form (immutable, shared)."""
+        with self._lock:
+            if self._compiled is None:
+                from ..sim.compile import compile_lis
+
+                self._compiled = compile_lis(
+                    self.lis, mg=self._doubled_master()
+                )
+                self.stats.record("compiled", hit=False)
+            else:
+                self.stats.record("compiled", hit=True)
+            return self._compiled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Context({self.lis!r}, fingerprint={self.fingerprint[:12]}...)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Fingerprint-keyed registry (cross-call / cross-op reuse)
+# ----------------------------------------------------------------------
+
+_REGISTRY_CAPACITY = 64
+_REGISTRY: "OrderedDict[str, Context]" = OrderedDict()
+_REGISTRY_LOCK = threading.Lock()
+
+
+def _same_structure(a: LisGraph, b: LisGraph) -> bool:
+    """Guard against canonical-JSON aliasing: ``lis_to_json`` stringifies
+    shell names, so graphs differing only in name *types* (``1`` vs
+    ``"1"``) share a fingerprint but must not share artifacts."""
+    return list(a.system.nodes) == list(b.system.nodes)
+
+
+def get_context(lis: LisGraph | Context) -> Context:
+    """The shared :class:`Context` for ``lis``'s current content.
+
+    Serializes and fingerprints the graph, then returns the registered
+    context for that fingerprint (creating and registering one on
+    miss).  Registry contexts use the process-global
+    :class:`ContextStats`.  Idempotent on Contexts.
+    """
+    if isinstance(lis, Context):
+        return lis
+    text = lis_to_json(lis)
+    fingerprint = lis_fingerprint(text)
+    with _REGISTRY_LOCK:
+        ctx = _REGISTRY.get(fingerprint)
+        if ctx is not None:
+            _REGISTRY.move_to_end(fingerprint)
+            if _same_structure(ctx.lis, lis):
+                return ctx
+            return Context(lis)  # aliased names: private, unregistered
+        ctx = Context(lis)
+        _REGISTRY[fingerprint] = ctx
+        while len(_REGISTRY) > _REGISTRY_CAPACITY:
+            _REGISTRY.popitem(last=False)
+        return ctx
+
+
+def context_from_json(text: str) -> Context:
+    """The shared Context for a canonical-JSON LIS document.
+
+    Hashes the text directly and only parses it on a registry miss --
+    this is how engine ops share artifacts across ops on the same
+    serialized system without re-parsing, let alone re-lowering.
+    """
+    fingerprint = lis_fingerprint(text)
+    with _REGISTRY_LOCK:
+        ctx = _REGISTRY.get(fingerprint)
+        if ctx is not None:
+            _REGISTRY.move_to_end(fingerprint)
+            return ctx
+        ctx = Context(lis_from_json(text))
+        _REGISTRY[fingerprint] = ctx
+        while len(_REGISTRY) > _REGISTRY_CAPACITY:
+            _REGISTRY.popitem(last=False)
+        return ctx
+
+
+def clear_registry() -> None:
+    """Drop all registered contexts (tests; frees cached artifacts)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()

@@ -124,12 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation backend (default: trace; 'fast' is the "
         "vectorized kernel)",
     )
-    sim.add_argument(
-        "--simulator",
-        choices=("trace", "rtl", "fast"),
-        default=None,
-        help="deprecated alias of --backend",
-    )
+    # Removed alias kept only to emit a pointed migration error.
+    sim.add_argument("--simulator", default=None, help=argparse.SUPPRESS)
     sim.add_argument("--shell", default=None, help="probe shell (default: auto)")
     sim.add_argument(
         "--batch",
@@ -246,11 +242,25 @@ def _cmd_stats(args) -> int:
                 f" solver_calls={counters.get('solver_calls', 0)}"
                 f" seconds={counters.get('seconds', 0.0):.3f}"
             )
+        context = stats.get("context") or {}
+        if context:
+            print("analysis-context artifacts:")
+            artifacts = sorted(
+                {key.rsplit(".", 1)[0] for key in context}
+            )
+            for artifact in artifacts:
+                print(
+                    f"  {artifact:<22}"
+                    f" computed={context.get(f'{artifact}.miss', 0)}"
+                    f" reused={context.get(f'{artifact}.hit', 0)}"
+                )
     return 0
 
 
 def _cmd_size(args) -> int:
-    lis = load_lis(args.file)
+    from .analysis import get_context
+
+    lis = get_context(load_lis(args.file))
     target = Fraction(args.target) if args.target else None
     try:
         solution = size_queues(
@@ -311,7 +321,6 @@ def _cmd_simulate_batch(args, lis, backend) -> int:
     import json as _json
     from pathlib import Path
 
-    from .core.serialize import lis_to_json
     from .engine import AnalysisEngine
 
     if backend not in (None, "fast"):
@@ -332,7 +341,7 @@ def _cmd_simulate_batch(args, lis, backend) -> int:
         print("error: --batch file holds no assignments", file=sys.stderr)
         return 2
     probe = _probe_shell(lis, args.shell)
-    lis_json = lis_to_json(lis)
+    lis_json = lis.lis_json
     chunk = max(1, args.chunk)
     chunks = [
         assignments[i : i + chunk]
@@ -378,10 +387,18 @@ def _cmd_simulate_batch(args, lis, backend) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from .analysis import get_context
     from .lis import measured_throughput
 
-    backend = args.backend or args.simulator
-    lis = load_lis(args.file)
+    if args.simulator is not None:
+        print(
+            "error: --simulator was removed; use --backend "
+            f"(e.g. --backend {args.simulator})",
+            file=sys.stderr,
+        )
+        return 2
+    backend = args.backend
+    lis = get_context(load_lis(args.file))
     if args.batch is not None:
         return _cmd_simulate_batch(args, lis, backend)
     backend = backend or "trace"

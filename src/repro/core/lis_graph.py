@@ -69,6 +69,43 @@ class LisGraph:
             raise LisError("default queue capacity must be >= 1")
         self.system = Digraph()
         self.default_queue = default_queue
+        self._frozen = False
+        self._fingerprint: str | None = None
+
+    # ------------------------------------------------------------------
+    # Freezing and content identity
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether this graph has been sealed against mutation."""
+        return self._frozen
+
+    def freeze(self) -> "LisGraph":
+        """Seal the graph: every mutator raises :class:`LisError` from
+        now on, which makes the instance safe to share (e.g. inside an
+        :class:`repro.analysis.Context`).  Returns ``self``."""
+        self._frozen = True
+        return self
+
+    def fingerprint(self) -> str:
+        """Content fingerprint: the SHA-256 of the canonical JSON form
+        (:func:`repro.core.serialize.lis_to_json`) -- the same bytes the
+        analysis engine hashes for its cache key.  Cached once frozen.
+        """
+        if self._frozen and self._fingerprint is not None:
+            return self._fingerprint
+        from .serialize import lis_fingerprint, lis_to_json
+
+        digest = lis_fingerprint(lis_to_json(self))
+        if self._frozen:
+            self._fingerprint = digest
+        return digest
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise LisError(
+                "LisGraph is frozen; call copy() to get a mutable clone"
+            )
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +120,7 @@ class LisGraph:
         transitions, each holding one datum -- so a feedback loop
         through the shell pays L places for its one token.
         """
+        self._check_mutable()
         if latency < 1:
             raise LisError(f"core latency must be >= 1, got {latency}")
         return self.system.add_node(name, latency=latency, **attrs)
@@ -103,6 +141,7 @@ class LisGraph:
         Parallel channels between the same pair of shells are allowed
         (e.g. the two channels from A to B in the paper's Fig. 1).
         """
+        self._check_mutable()
         q = self.default_queue if queue is None else queue
         if q < 1:
             raise LisError(f"queue capacity must be >= 1, got {q}")
@@ -146,12 +185,14 @@ class LisGraph:
         return self.channel(cid).data["queue"]
 
     def set_queue(self, cid: int, q: int) -> None:
+        self._check_mutable()
         if q < 1:
             raise LisError(f"queue capacity must be >= 1, got {q}")
         self.channel(cid).data["queue"] = q
 
     def set_all_queues(self, q: int) -> None:
         """Fixed queue sizing: uniformly set every channel queue to ``q``."""
+        self._check_mutable()
         for edge in self.system.edges:
             if q < 1:
                 raise LisError(f"queue capacity must be >= 1, got {q}")
@@ -162,11 +203,13 @@ class LisGraph:
 
     def insert_relay(self, cid: int, count: int = 1) -> None:
         """Insert ``count`` additional relay stations on a channel."""
+        self._check_mutable()
         if count < 0:
             raise LisError("relay insertion count must be >= 0")
         self.channel(cid).data["relays"] += count
 
     def remove_relay(self, cid: int, count: int = 1) -> None:
+        self._check_mutable()
         current = self.relays(cid)
         if count > current:
             raise LisError(

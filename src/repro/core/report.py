@@ -15,7 +15,7 @@ from fractions import Fraction
 from .lis_graph import LisGraph
 from .slack import pipelining_slack
 from .solvers import QsSolution, size_queues
-from .throughput import actual_mst, bottleneck_channels, ideal_mst
+from .throughput import bottleneck_channels
 from .topology import (
     RelayPlacement,
     TopologyClass,
@@ -101,25 +101,34 @@ def analyze(
     method: str = "heuristic",
     max_cycles: int | None = None,
 ) -> AnalysisReport:
-    """Run the full analysis pipeline on ``lis`` (not mutated)."""
-    ideal = ideal_mst(lis)
-    practical = actual_mst(lis)
+    """Run the full analysis pipeline on ``lis`` (not mutated).
+
+    Accepts a :class:`LisGraph` or an :class:`repro.analysis.Context`;
+    a plain graph is wrapped in a shared context so the report's MSTs,
+    bottlenecks, slack and sizing fix all work off one pair of
+    lowerings and one cycle enumeration.
+    """
+    from ..analysis import get_context
+
+    ctx = get_context(lis)
+    ideal = ctx.ideal_mst()
+    practical = ctx.actual_mst()
     fix = None
     if practical.mst < ideal.mst:
-        fix = size_queues(lis, method=method, max_cycles=max_cycles)
+        fix = size_queues(ctx, method=method, max_cycles=max_cycles)
     critical_path = None
     if practical.critical is not None:
         critical_path = tuple(p.src for p in practical.critical)
     return AnalysisReport(
-        shells=lis.system.number_of_nodes(),
-        channels=len(lis.channels()),
-        relay_stations=lis.total_relays(),
-        topology=classify_topology(lis),
-        placement=relay_placement(lis),
+        shells=ctx.system.number_of_nodes(),
+        channels=len(ctx.channels()),
+        relay_stations=ctx.total_relays(),
+        topology=classify_topology(ctx.lis),
+        placement=relay_placement(ctx.lis),
         ideal=ideal.mst,
         practical=practical.mst,
         critical_path=critical_path,
-        bottlenecks=frozenset(bottleneck_channels(lis)),
-        slack=pipelining_slack(lis, max_cycles=max_cycles),
+        bottlenecks=frozenset(bottleneck_channels(ctx)),
+        slack=pipelining_slack(ctx, max_cycles=max_cycles),
         fix=fix,
     )

@@ -19,12 +19,29 @@ strings in this format.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
 from .lis_graph import LisGraph
 
-__all__ = ["lis_to_json", "lis_from_json", "save_lis", "load_lis"]
+__all__ = [
+    "lis_to_json",
+    "lis_from_json",
+    "lis_fingerprint",
+    "save_lis",
+    "load_lis",
+]
+
+
+def lis_fingerprint(text: str) -> str:
+    """SHA-256 hex digest of a canonical-JSON LIS document.
+
+    ``LisGraph.fingerprint()`` and the analysis-engine cache key both
+    hash the output of :func:`lis_to_json` through this function, so a
+    Context fingerprint and the engine's content key agree on identity.
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def lis_to_json(lis: LisGraph) -> str:

@@ -76,7 +76,11 @@ def size_queues(
     """Size the queues of ``lis`` to eliminate MST degradation.
 
     Args:
-        lis: The system (queues as configured form the baseline).
+        lis: The system (queues as configured form the baseline) -- a
+            :class:`LisGraph`, or an :class:`repro.analysis.Context` so
+            that multi-solver comparisons share one cycle enumeration
+            (the ideal MST, the collapse, and the verification lowering
+            are then all served from the context's artifact cache).
         method: A registered solver name -- ``"heuristic"`` (Section
             VII-B descent), ``"greedy"`` (set-cover marginal coverage),
             ``"exact"`` (binary search + branch and bound), ``"milp"``
@@ -116,7 +120,10 @@ def size_queues(
     channel_map: dict[int, int] | None = None
     work = lis
     if use_collapse:
-        work, channel_map = collapse_sccs(lis)
+        if hasattr(lis, "collapsed"):  # a repro.analysis.Context
+            work, channel_map = lis.collapsed()
+        else:
+            work, channel_map = collapse_sccs(lis)
 
     t0 = time.monotonic()
     instance = build_td_instance(

@@ -100,7 +100,13 @@ def mst_per_scc(mg: MarkedGraph) -> dict[frozenset, Fraction]:
 
 
 def ideal_mst(lis: LisGraph) -> ThroughputResult:
-    """MST of the ideal LIS (infinite queues, no backpressure)."""
+    """MST of the ideal LIS (infinite queues, no backpressure).
+
+    Accepts a plain :class:`LisGraph` (lowered afresh) or an
+    :class:`repro.analysis.Context` (served from its artifact cache).
+    """
+    if hasattr(lis, "td_instance"):  # a repro.analysis.Context
+        return lis.ideal_mst()
     return mst(lis.ideal_marked_graph())
 
 
@@ -135,7 +141,11 @@ def actual_mst(
 
     ``extra_tokens`` is an optional queue-sizing solution (channel id
     -> extra backedge tokens) applied on top of the configured queues.
+    Accepts a plain :class:`LisGraph` or an
+    :class:`repro.analysis.Context` (cached per extra-token key).
     """
+    if hasattr(lis, "td_instance"):  # a repro.analysis.Context
+        return lis.actual_mst(extra_tokens)
     return mst(lis.doubled_marked_graph(extra_tokens))
 
 

@@ -32,7 +32,12 @@ from .cycles import CycleRecord, deficient_cycles
 from .lis_graph import LisGraph
 from .throughput import ideal_mst
 
-__all__ = ["TokenDeficitInstance", "InfeasibleError", "build_td_instance"]
+__all__ = [
+    "TokenDeficitInstance",
+    "InfeasibleError",
+    "build_td_instance",
+    "td_instance_from_records",
+]
 
 
 class InfeasibleError(Exception):
@@ -196,6 +201,32 @@ class TokenDeficitInstance:
         )
 
 
+def td_instance_from_records(
+    records: list[CycleRecord],
+    target: Fraction,
+    simplify: bool = True,
+) -> TokenDeficitInstance:
+    """Assemble a (fresh, mutable) TD instance from deficient-cycle
+    records -- the shared back half of :func:`build_td_instance`, also
+    used by :meth:`repro.analysis.Context.td_instance` so one cycle
+    enumeration can feed many instances."""
+    deficits: dict[int, int] = {}
+    sets: dict[int, set[int]] = {}
+    for idx, record in enumerate(records):
+        deficits[idx] = record.deficit(target)
+        for channel in record.channels:
+            sets.setdefault(channel, set()).add(idx)
+
+    instance = TokenDeficitInstance(
+        deficits=deficits, sets=sets, cycles=list(records), target=target
+    )
+    if simplify:
+        instance.simplify()
+    elif any(not record.channels for record in records):
+        raise InfeasibleError("deficient cycle without sizable backedges")
+    return instance
+
+
 def build_td_instance(
     lis: LisGraph,
     target: Fraction | None = None,
@@ -203,7 +234,8 @@ def build_td_instance(
     max_cycles: int | None = None,
     simplify: bool = True,
 ) -> TokenDeficitInstance:
-    """Build a TD instance for ``lis``.
+    """Build a TD instance for ``lis`` (a LisGraph or an
+    :class:`~repro.analysis.Context`).
 
     Args:
         lis: The system to size (baseline queues as configured).
@@ -220,22 +252,14 @@ def build_td_instance(
             MST-reducing cycle includes at least one shell backedge or
             is an all-forward cycle already counted in the ideal MST).
     """
+    if hasattr(lis, "td_instance"):  # a repro.analysis.Context
+        return lis.td_instance(
+            target=target,
+            extra_tokens=extra_tokens,
+            max_cycles=max_cycles,
+            simplify=simplify,
+        )
     goal = target if target is not None else ideal_mst(lis).mst
     doubled = lis.doubled_marked_graph(extra_tokens)
     records = deficient_cycles(doubled, goal, max_cycles=max_cycles)
-
-    deficits: dict[int, int] = {}
-    sets: dict[int, set[int]] = {}
-    for idx, record in enumerate(records):
-        deficits[idx] = record.deficit(goal)
-        for channel in record.channels:
-            sets.setdefault(channel, set()).add(idx)
-
-    instance = TokenDeficitInstance(
-        deficits=deficits, sets=sets, cycles=records, target=goal
-    )
-    if simplify:
-        instance.simplify()
-    elif any(not record.channels for record in records):
-        raise InfeasibleError("deficient cycle without sizable backedges")
-    return instance
+    return td_instance_from_records(records, goal, simplify=simplify)

@@ -27,6 +27,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..analysis import Context
 from ..core.lis_graph import LisGraph
 from ..core.serialize import lis_to_json
 from .cache import DiskCache, LruCache, content_key
@@ -68,6 +69,9 @@ class EngineStats:
     tasks: int = 0
     wall_seconds: float = 0.0
     serialize_seconds: float = 0.0
+    #: Aggregated repro.analysis per-artifact counters
+    #: (``"<artifact>.hit"`` / ``"<artifact>.miss"``) from every op run.
+    context: dict[str, int] = field(default_factory=dict)
 
     def op(self, name: str) -> OpStats:
         if name not in self.ops:
@@ -95,6 +99,10 @@ class EngineStats:
         served = self.hits + self.disk_hits + self.misses
         return (self.hits + self.disk_hits) / served if served else 0.0
 
+    def merge_context(self, counters: dict[str, int]) -> None:
+        for key, value in (counters or {}).items():
+            self.context[key] = self.context.get(key, 0) + int(value)
+
     def as_dict(self) -> dict:
         return {
             "batches": self.batches,
@@ -102,6 +110,7 @@ class EngineStats:
             "wall_seconds": self.wall_seconds,
             "serialize_seconds": self.serialize_seconds,
             "ops": {name: s.as_dict() for name, s in self.ops.items()},
+            "context": dict(self.context),
         }
 
     def render(self) -> str:
@@ -119,6 +128,17 @@ class EngineStats:
                 f"{name:<22}{s.calls:>7}{s.hits:>7}{s.disk_hits:>7}"
                 f"{s.misses:>7}{s.solver_calls:>8}{s.seconds:>10.3f}"
             )
+        if self.context:
+            lines.append(f"{'artifact':<22}{'computed':>9}{'reused':>9}")
+            artifacts = sorted(
+                {key.rsplit(".", 1)[0] for key in self.context}
+            )
+            for artifact in artifacts:
+                lines.append(
+                    f"{artifact:<22}"
+                    f"{self.context.get(f'{artifact}.miss', 0):>9}"
+                    f"{self.context.get(f'{artifact}.hit', 0):>9}"
+                )
         return "\n".join(lines)
 
 
@@ -189,7 +209,10 @@ class AnalysisEngine:
     def run(self, tasks: Sequence[tuple]) -> list:
         """Execute ``(op, lis, options)`` tasks; results in task order.
 
-        ``lis`` may be a :class:`LisGraph` or its canonical JSON text.
+        ``lis`` may be a :class:`LisGraph`, an
+        :class:`~repro.analysis.Context` (its canonical JSON is already
+        computed, so serialization is free and in-process runs reuse
+        the context's artifacts), or the canonical JSON text itself.
         Identical tasks inside one batch are computed once (coalesced);
         cached results are served without touching the pool.  Worker
         exceptions (e.g. :class:`ExactTimeout` from an exact op)
@@ -205,7 +228,12 @@ class AnalysisEngine:
         for i, task in enumerate(tasks):
             op, lis, options = (*task, None)[:3]
             t0 = time.perf_counter()
-            lis_json = lis if isinstance(lis, str) else lis_to_json(lis)
+            if isinstance(lis, str):
+                lis_json = lis
+            elif isinstance(lis, Context):
+                lis_json = lis.lis_json
+            else:
+                lis_json = lis_to_json(lis)
             self.stats.serialize_seconds += time.perf_counter() - t0
             key = content_key(op, lis_json, options)
             per_op = self.stats.op(op)
@@ -257,6 +285,7 @@ class AnalysisEngine:
             per_op.misses += 1
             per_op.seconds += meta.get("elapsed", 0.0)
             per_op.solver_calls += meta.get("solver_calls", 0)
+            self.stats.merge_context(meta.get("context") or {})
             self._memory.put(key, value)
             if self._disk is not None:
                 self._disk.put(op, key, value)
@@ -266,7 +295,7 @@ class AnalysisEngine:
     def map(
         self,
         op: str,
-        systems: Iterable[LisGraph | str],
+        systems: Iterable[LisGraph | Context | str],
         options: dict | None = None,
     ) -> list:
         """Run one op over many systems with shared options."""
@@ -274,31 +303,31 @@ class AnalysisEngine:
 
     # -- single-system conveniences -----------------------------------
 
-    def _one(self, op: str, lis: LisGraph | str, options: dict | None = None):
+    def _one(self, op: str, lis: LisGraph | Context | str, options: dict | None = None):
         return self.run([(op, lis, options)])[0]
 
-    def ideal_mst(self, lis: LisGraph | str):
+    def ideal_mst(self, lis: LisGraph | Context | str):
         """Cached :func:`repro.core.ideal_mst` (a ThroughputResult)."""
         return self._one("ideal_mst", lis)
 
-    def actual_mst(self, lis: LisGraph | str, extra_tokens=None):
+    def actual_mst(self, lis: LisGraph | Context | str, extra_tokens=None):
         """Cached :func:`repro.core.actual_mst`."""
         options = (
             {"extra_tokens": dict(extra_tokens)} if extra_tokens else None
         )
         return self._one("actual_mst", lis, options)
 
-    def size_queues(self, lis: LisGraph | str, **options):
+    def size_queues(self, lis: LisGraph | Context | str, **options):
         """Cached :func:`repro.core.size_queues` (same keywords)."""
         return self._one("size_queues", lis, options or None)
 
-    def analyze(self, lis: LisGraph | str, **options):
+    def analyze(self, lis: LisGraph | Context | str, **options):
         """Cached :func:`repro.core.analyze` full report."""
         return self._one("analyze", lis, options or None)
 
 
 def analyze_many(
-    systems: Sequence[LisGraph | str],
+    systems: Sequence[LisGraph | Context | str],
     jobs: int | str | None = None,
     cache_dir: str | os.PathLike | None = None,
     engine: AnalysisEngine | None = None,

@@ -1,14 +1,17 @@
 """The operations an :class:`~repro.engine.AnalysisEngine` can run.
 
-An *op* is a named pure function over a serialized LIS::
+An *op* is a named pure function over a shared analysis context::
 
-    fn(lis: LisGraph, options: dict) -> (result, meta)
+    fn(ctx: repro.analysis.Context, options: dict) -> (result, meta)
 
-where ``meta`` carries observability counters (currently
-``solver_calls``).  Ops receive the system re-parsed from its
-canonical JSON -- the same text the cache key is hashed from -- so a
-result is valid for exactly the content that keyed it, and worker
-processes never need to unpickle arbitrary objects.
+where ``meta`` carries observability counters (``solver_calls``, plus
+the per-artifact ``context`` hit/miss delta added by :func:`run_op`).
+Ops receive the :class:`~repro.analysis.Context` for the serialized
+system's fingerprint -- the same SHA-256 the cache key is built from --
+so a result is valid for exactly the content that keyed it, worker
+processes never unpickle arbitrary objects, and **two ops on the same
+serialized system share one set of lowerings and one cycle
+enumeration** through the context registry.
 
 :func:`run_op` is the process-pool entrypoint (module-level, hence
 picklable); :func:`register_op` admits project-specific operations,
@@ -21,13 +24,12 @@ import time
 from fractions import Fraction
 from typing import Callable
 
-from ..core.lis_graph import LisGraph
-from ..core.serialize import lis_from_json
+from ..analysis import Context, context_from_json, get_context, global_stats
 from ..core.throughput import actual_mst, ideal_mst
 
 __all__ = ["available_ops", "get_op", "register_op", "run_op"]
 
-OpFn = Callable[[LisGraph, dict], "tuple[object, dict]"]
+OpFn = Callable[[Context, dict], "tuple[object, dict]"]
 
 _OPS: dict[str, OpFn] = {}
 
@@ -53,14 +55,16 @@ def available_ops() -> tuple[str, ...]:
 
 def run_op(op: str, lis_json: str, options: dict | None) -> tuple:
     """Execute one op; the ``(result, meta)`` pair comes back with the
-    compute wall-clock added to ``meta``.  This is the function worker
-    processes run."""
+    compute wall-clock and the context-counter delta added to ``meta``.
+    This is the function worker processes run."""
     fn = get_op(op)
-    lis = lis_from_json(lis_json)
+    ctx = context_from_json(lis_json)
+    before = global_stats().snapshot()
     t0 = time.perf_counter()
-    result, meta = fn(lis, options or {})
+    result, meta = fn(ctx, options or {})
     meta = dict(meta)
     meta["elapsed"] = time.perf_counter() - t0
+    meta["context"] = global_stats().delta(before)
     return result, meta
 
 
@@ -70,18 +74,18 @@ def _coerce_target(value) -> Fraction | None:
     return Fraction(value)
 
 
-def _op_ideal_mst(lis: LisGraph, options: dict):
-    return ideal_mst(lis), {"solver_calls": 0}
+def _op_ideal_mst(ctx: Context, options: dict):
+    return ideal_mst(ctx), {"solver_calls": 0}
 
 
-def _op_actual_mst(lis: LisGraph, options: dict):
+def _op_actual_mst(ctx: Context, options: dict):
     extra = options.get("extra_tokens")
     if extra is not None:
         extra = {int(cid): int(tokens) for cid, tokens in extra.items()}
-    return actual_mst(lis, extra), {"solver_calls": 0}
+    return actual_mst(ctx, extra), {"solver_calls": 0}
 
 
-def _op_mst_sweep(lis: LisGraph, options: dict):
+def _op_mst_sweep(ctx: Context, options: dict):
     """Ideal MST plus the practical MST at each uniform queue size.
 
     Options: ``queues`` (list of ints), ``include_ideal`` (default
@@ -91,19 +95,21 @@ def _op_mst_sweep(lis: LisGraph, options: dict):
     """
     out: dict[str, Fraction] = {}
     if options.get("include_ideal", True):
-        out["inf"] = ideal_mst(lis).mst
+        out["inf"] = ideal_mst(ctx).mst
     for q in options.get("queues", ()):
-        trial = lis.copy()
+        # Each queue size is a different content; mutate a plain clone
+        # rather than building (and registering) a context per point.
+        trial = ctx.copy()
         trial.set_all_queues(int(q))
         out[str(q)] = actual_mst(trial).mst
     return out, {"solver_calls": 0}
 
 
-def _op_size_queues(lis: LisGraph, options: dict):
+def _op_size_queues(ctx: Context, options: dict):
     from ..core.solvers import size_queues
 
     solution = size_queues(
-        lis,
+        ctx,
         method=options.get("method", "heuristic"),
         target=_coerce_target(options.get("target")),
         collapse=options.get("collapse", "auto"),
@@ -114,35 +120,36 @@ def _op_size_queues(lis: LisGraph, options: dict):
     return solution, {"solver_calls": 1}
 
 
-def _op_analyze(lis: LisGraph, options: dict):
+def _op_analyze(ctx: Context, options: dict):
     from ..core.report import analyze
 
     report = analyze(
-        lis,
+        ctx,
         method=options.get("method", "heuristic"),
         max_cycles=options.get("max_cycles"),
     )
     return report, {"solver_calls": 1 if report.fix is not None else 0}
 
 
-def _op_table4_trial(lis: LisGraph, options: dict):
+def _op_table4_trial(ctx: Context, options: dict):
     """One Table IV trial: structure counts, the heuristic cost, and
-    the exact cost (None on timeout) after the SCC collapse."""
-    from ..core.cycles import collapse_sccs
+    the exact cost (None on timeout) after the SCC collapse.
+
+    The collapsed system's *single* cycle enumeration (cached on its
+    context) serves the cycle count, the deficient filter, and both
+    solvers' TD instance -- previously this op enumerated twice.
+    """
     from ..core.solvers import get_solver
     from ..core.solvers.exact import ExactTimeout
-    from ..core.token_deficit import build_td_instance
     from ..graphs import scc_of
-    from ..graphs.cycles import count_edge_cycles
 
-    mapping = scc_of(lis.system)
+    mapping = scc_of(ctx.system)
     inter_scc_edges = sum(
-        1 for e in lis.channels() if mapping[e.src] != mapping[e.dst]
+        1 for e in ctx.channels() if mapping[e.src] != mapping[e.dst]
     )
-    collapsed, _ = collapse_sccs(lis)
-    doubled = collapsed.doubled_marked_graph()
-    inter_scc_cycles = count_edge_cycles(doubled.graph)
-    instance = build_td_instance(collapsed, target=Fraction(1), simplify=True)
+    collapsed, _ = ctx.collapsed()
+    inter_scc_cycles = len(collapsed.cycle_records())
+    instance = collapsed.td_instance(target=Fraction(1), simplify=True)
     heuristic_weights, _stats = get_solver("heuristic").solve_instance(instance)
     heuristic_cost = instance.solution_cost(heuristic_weights)
     exact_cost: int | None = None
@@ -154,7 +161,7 @@ def _op_table4_trial(lis: LisGraph, options: dict):
     except ExactTimeout:
         pass
     result = {
-        "edges": len(lis.channels()),
+        "edges": len(ctx.channels()),
         "inter_scc_edges": inter_scc_edges,
         "inter_scc_cycles": inter_scc_cycles,
         "heuristic_cost": heuristic_cost,
@@ -163,19 +170,21 @@ def _op_table4_trial(lis: LisGraph, options: dict):
     return result, {"solver_calls": 2}
 
 
-def _op_exhaustive_placement(lis: LisGraph, options: dict):
+def _op_exhaustive_placement(ctx: Context, options: dict):
     """One Table V placement: insert relay stations on the listed
     channels of the (serialized) base system, then run the heuristic
     and optionally the exact solver on both TD variants."""
     from ..soc.exhaustive import solve_placement
 
     channels = tuple(int(c) for c in options["channels"])
+    lis = ctx.copy()
     for cid in channels:
         lis.insert_relay(cid)
+    placed = get_context(lis)
     placement = solve_placement(
-        lis,
+        placed,
         channels,
-        target=ideal_mst(lis).mst,
+        target=ideal_mst(placed).mst,
         run_exact=options.get("run_exact", True),
         exact_timeout=options.get("exact_timeout"),
     )
@@ -185,7 +194,7 @@ def _op_exhaustive_placement(lis: LisGraph, options: dict):
     return placement, {"solver_calls": calls}
 
 
-def _op_simulate_batch(lis: LisGraph, options: dict):
+def _op_simulate_batch(ctx: Context, options: dict):
     """Vectorized batch simulation of one topology under many
     queue-sizing assignments (:mod:`repro.sim`).
 
@@ -204,7 +213,7 @@ def _op_simulate_batch(lis: LisGraph, options: dict):
     ]
     clocks = int(options.get("clocks", 400))
     warmup = int(options.get("warmup", 100))
-    sim = BatchSimulator(lis, assignments)
+    sim = BatchSimulator(ctx, assignments)
     result = sim.run(warmup + clocks, warmup=warmup)
     compiled = sim.compiled
     out = []

@@ -57,7 +57,12 @@ def measured_throughput(
     extra_tokens: dict[int, int] | None = None,
 ) -> Fraction:
     """Long-run firing rate of ``shell`` under the chosen backend
-    (``"trace"``, ``"rtl"``, or the vectorized ``"fast"`` kernel)."""
+    (``"trace"``, ``"rtl"``, or the vectorized ``"fast"`` kernel).
+
+    ``lis`` may be a :class:`~repro.core.LisGraph` or an
+    :class:`repro.analysis.Context`; with a context, every backend
+    reuses its cached lowering / compiled arrays.
+    """
     if simulator == "fast":
         # Token counting only -- no per-clock value replay needed.
         from ..sim import BatchSimulator
@@ -95,7 +100,15 @@ def crossvalidate(
 
     The finite-horizon rate of a periodic system differs from the
     asymptotic rate by O(1/clocks), hence the tolerance.
+
+    The system is wrapped in one shared
+    :class:`repro.analysis.Context`, so the analytic MST, the trace
+    backend's doubled lowering, and the fast backend's compiled arrays
+    all derive from a single lowering pass.
     """
+    from ..analysis import get_context
+
+    lis = get_context(lis)
     analysis = actual_mst(lis, extra_tokens)
     if analysis.limiting_scc:
         candidates = [

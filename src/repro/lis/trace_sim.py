@@ -40,7 +40,11 @@ class TraceSimulator:
     """Cycle-accurate, data-carrying simulation of a practical LIS.
 
     Args:
-        lis: The system to simulate (queues/relays as configured).
+        lis: The system to simulate (queues/relays as configured) -- a
+            :class:`~repro.core.LisGraph`, or an
+            :class:`repro.analysis.Context` whose cached lowering is
+            then reused (the simulator receives a defensive copy, so
+            the stepping below never touches the shared master).
         behaviors: ``{shell name: ShellBehavior}``; shells without an
             entry get the default pass-through behaviour with initial
             output 0.

@@ -106,7 +106,8 @@ class BatchSimulator:
     """Evaluate many queue-sizing assignments of one topology at once.
 
     Args:
-        lis: The system; compiled once, shared by the whole batch.
+        lis: The system; compiled once, shared by the whole batch.  An
+            :class:`repro.analysis.Context` reuses its cached compile.
         assignments: One ``{channel id: extra queue slots}`` mapping per
             configuration (``None`` or ``[{}]`` = the system as built).
     """

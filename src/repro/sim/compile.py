@@ -18,6 +18,7 @@ from typing import Hashable, Mapping, Sequence
 import numpy as np
 
 from ..core.lis_graph import LisError, LisGraph
+from ..core.marked_graph import MarkedGraph
 
 __all__ = ["CompiledSystem", "compile_lis"]
 
@@ -87,9 +88,18 @@ class CompiledSystem:
         return tokens
 
 
-def compile_lis(lis: LisGraph) -> CompiledSystem:
-    """Flatten ``lis.doubled_marked_graph()`` into a :class:`CompiledSystem`."""
-    mg = lis.doubled_marked_graph()
+def compile_lis(lis: LisGraph, mg: "MarkedGraph | None" = None) -> CompiledSystem:
+    """Flatten ``lis.doubled_marked_graph()`` into a :class:`CompiledSystem`.
+
+    ``lis`` may be a plain :class:`LisGraph` (lowered here) or an
+    :class:`repro.analysis.Context` (the cached compiled form is
+    returned directly).  A pre-lowered doubled marked graph may be
+    passed as ``mg`` to skip the lowering; it is only read.
+    """
+    if mg is None and hasattr(lis, "compiled"):  # a repro.analysis.Context
+        return lis.compiled()
+    if mg is None:
+        mg = lis.doubled_marked_graph()
     graph = mg.graph
     node_names = tuple(graph.nodes)
     node_index = {name: i for i, name in enumerate(node_names)}

@@ -153,7 +153,16 @@ def solve_placement(
     timeout is recorded as ``optimal_tokens[variant] = None``;
     :func:`run_exhaustive_insertion` aggregates those into the
     report's timeout counts.
+
+    The placement is wrapped in a shared
+    :class:`repro.analysis.Context`, so the ``orig`` and ``simplified``
+    TD variants are built from *one* cycle enumeration (they differ
+    only in the rule-2/3 simplification, not in the cycles) and the
+    degradation check reuses the same doubled lowering.
     """
+    from ..analysis import get_context
+
+    lis = get_context(lis)
     ideal = target
     actual = actual_mst(lis).mst
     result_heur: dict[str, int] = {}

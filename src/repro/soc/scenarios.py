@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable
 
-from ..core.cycles import CycleRecord, deficient_cycles
+from ..analysis import get_context
+from ..core.cycles import CycleRecord
 from ..core.solvers import QsSolution, size_queues
 from ..core.throughput import actual_mst, ideal_mst
 from .cofdm import channel_id, cofdm_transmitter
@@ -53,17 +54,21 @@ def analyze_scenario(
 
     ``relay_channels`` are ``(src, dst)`` block-name pairs; repeating a
     pair inserts multiple stations on that channel.
+
+    The scenario runs on one shared :class:`repro.analysis.Context`:
+    the MSTs, the Table-VI cycle list, and the queue-sizing fix all
+    derive from a single doubled lowering and a single deficient-cycle
+    enumeration (this used to re-lower and re-enumerate per scenario).
     """
     placements = tuple(relay_channels)
     lis = cofdm_transmitter(queue=queue)
     for src, dst in placements:
         lis.insert_relay(channel_id(lis, src, dst))
-    ideal = ideal_mst(lis).mst
-    degraded = actual_mst(lis).mst
-    cycles = tuple(
-        deficient_cycles(lis.doubled_marked_graph(), ideal)
-    )
-    fix = size_queues(lis, method=method)
+    ctx = get_context(lis)
+    ideal = ideal_mst(ctx).mst
+    degraded = actual_mst(ctx).mst
+    cycles = tuple(ctx.deficient_cycles(ideal))
+    fix = size_queues(ctx, method=method)
     return ScenarioAnalysis(
         placements=placements,
         ideal=ideal,

@@ -1,0 +1,19 @@
+"""Isolation for the process-global analysis state.
+
+The context registry and the global artifact counters are deliberately
+process-wide (that is the sharing being tested), so every test in this
+package starts and ends from a clean slate.
+"""
+
+import pytest
+
+from repro.analysis import clear_registry, reset_global_stats
+
+
+@pytest.fixture(autouse=True)
+def _fresh_analysis_state():
+    clear_registry()
+    reset_global_stats()
+    yield
+    clear_registry()
+    reset_global_stats()

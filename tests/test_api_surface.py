@@ -85,6 +85,26 @@ def test_root_exports_match_docs():
     assert documented == set(repro.__all__)
 
 
+def test_analysis_public_api():
+    import repro
+    import repro.analysis as analysis
+
+    assert set(analysis.__all__) == {
+        "Context",
+        "ContextStats",
+        "clear_registry",
+        "context_from_json",
+        "get_context",
+        "global_stats",
+        "reset_global_stats",
+    }
+    for name in analysis.__all__:
+        assert getattr(analysis, name) is not None
+    # The everyday names are re-exported at the package root.
+    assert repro.Context is analysis.Context
+    assert repro.get_context is analysis.get_context
+
+
 def test_solver_registry_roundtrip():
     from repro import available_solvers, get_solver
 

@@ -150,7 +150,7 @@ def test_simulate(fig1_file, capsys):
 
 
 def test_simulate_rtl_autoprobe(fig1_file, capsys):
-    assert main(["simulate", str(fig1_file), "--simulator", "rtl"]) == 0
+    assert main(["simulate", str(fig1_file), "--backend", "rtl"]) == 0
     out = capsys.readouterr().out
     assert "simulator:       rtl" in out
 
@@ -162,13 +162,12 @@ def test_simulate_fast_backend(fig1_file, capsys):
     assert "analytic MST:    2/3" in out
 
 
-def test_simulate_backend_wins_over_simulator_alias(fig1_file, capsys):
-    args = [
-        "simulate", str(fig1_file),
-        "--backend", "fast", "--simulator", "trace",
-    ]
-    assert main(args) == 0
-    assert "simulator:       fast" in capsys.readouterr().out
+def test_simulate_removed_simulator_alias_errors(fig1_file, capsys):
+    args = ["simulate", str(fig1_file), "--simulator", "rtl"]
+    assert main(args) == 2
+    err = capsys.readouterr().err
+    assert "--simulator was removed" in err
+    assert "--backend" in err
 
 
 def test_simulate_bad_backend_name_rejected(fig1_file, capsys):
