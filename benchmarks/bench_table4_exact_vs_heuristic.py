@@ -65,6 +65,12 @@ def test_table4_exact_vs_heuristic(benchmark, publish, engine):
         data={
             "trials": n_trials,
             "exact_timeout_s": timeout,
+            "exact_mean_ms": statistics.fmean(
+                [ms for row in rows for ms in row.exact_ms] or [0.0]
+            ),
+            "heuristic_mean_ms": statistics.fmean(
+                [ms for row in rows for ms in row.heuristic_ms] or [0.0]
+            ),
             "rows": [
                 {
                     "v": row.v,
@@ -75,6 +81,9 @@ def test_table4_exact_vs_heuristic(benchmark, publish, engine):
                     "exact_solutions": row.exact_solutions,
                     "heuristic_solutions": row.heuristic_solutions_finished,
                     "unfinished": len(row.heuristic_solutions_unfinished),
+                    "exact_ms": row.exact_ms,
+                    "heuristic_ms": row.heuristic_ms,
+                    "solver_stats": row.solver_stats,
                 }
                 for row in rows
             ],

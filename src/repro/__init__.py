@@ -49,12 +49,14 @@ from .core import (
     MarkedGraph,
     QsSolution,
     Solver,
+    TdKernel,
     ThroughputResult,
     TopologyClass,
     actual_mst,
     analyze,
     available_solvers,
     classify_topology,
+    compile_td,
     degradation_ratio,
     fixed_qs_mst,
     get_solver,
@@ -65,11 +67,16 @@ from .core import (
     size_queues,
 )
 from .analysis import Context, get_context
-from .engine import AnalysisEngine, EngineStats, analyze_many
+from .engine import (
+    AnalysisEngine,
+    EngineStats,
+    analyze_many,
+    solve_exact_portfolio,
+)
 from .gen import GeneratorConfig, generate_lis
 from .lis import RtlSimulator, ShellBehavior, TraceSimulator, simulate_trace
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # The vectorized backend needs numpy, which is an optional dependency;
 # resolve its names lazily so `import repro` works without it.
@@ -98,6 +105,7 @@ __all__ = [
     "RtlSimulator",
     "ShellBehavior",
     "Solver",
+    "TdKernel",
     "ThroughputResult",
     "TopologyClass",
     "TraceSimulator",
@@ -106,6 +114,7 @@ __all__ = [
     "analyze_many",
     "available_solvers",
     "classify_topology",
+    "compile_td",
     "degradation_ratio",
     "fixed_qs_mst",
     "generate_lis",
@@ -118,5 +127,6 @@ __all__ = [
     "simulate_fast",
     "simulate_trace",
     "size_queues",
+    "solve_exact_portfolio",
     "__version__",
 ]

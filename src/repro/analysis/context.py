@@ -74,6 +74,7 @@ ARTIFACTS = (
     "cycles",
     "collapsed",
     "compiled",
+    "td_kernel",
 )
 
 
@@ -205,6 +206,7 @@ class Context:
         self._sizable: dict[int, int] | None = None
         self._collapsed: tuple["Context", dict[int, int]] | None = None
         self._compiled: "CompiledSystem | None" = None
+        self._td_kernels: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     # Read-only LisGraph surface (duck-typed pass-throughs)
@@ -413,6 +415,41 @@ class Context:
         goal = target if target is not None else self.ideal_mst().mst
         records = self.deficient_cycles(goal, extra_tokens, max_cycles)
         return td_instance_from_records(records, goal, simplify=simplify)
+
+    def td_kernel(
+        self,
+        target: Fraction | None = None,
+        extra_tokens: dict[int, int] | None = None,
+        max_cycles: int | None = None,
+        simplify: bool = True,
+    ):
+        """The bitset-compiled :class:`~repro.core.solvers.TdKernel` of
+        this content's TD instance, cached per (target, assignment,
+        simplify) key.
+
+        Unlike :meth:`td_instance` (mutable, rebuilt per call) the
+        kernel is immutable apart from its stats accumulator, so one
+        compilation serves every solver, batch-feasibility check, and
+        portfolio probe on the same content.  ``simplify=False``
+        compiles the *unsimplified* instance (no forced weights), the
+        form that validates complete assignments via ``check_batch``.
+        """
+        from ..core.solvers.kernel import compile_td
+
+        goal = target if target is not None else self.ideal_mst().mst
+        key = (goal, _extra_key(extra_tokens, self._channel_ids), simplify)
+        with self._lock:
+            kern = self._td_kernels.get(key)
+            if kern is None:
+                instance = self.td_instance(
+                    goal, extra_tokens, max_cycles, simplify=simplify
+                )
+                kern = compile_td(instance)
+                self._td_kernels[key] = kern
+                self.stats.record("td_kernel", hit=False)
+            else:
+                self.stats.record("td_kernel", hit=True)
+            return kern
 
     # ------------------------------------------------------------------
     # Rule-4 SCC collapse and the simulation kernel

@@ -88,11 +88,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory to inspect (default: .repro-cache)",
     )
 
+    from .core.solvers import available_solvers
+
     size = sub.add_parser("size", help="queue sizing")
     size.add_argument("file")
     size.add_argument(
         "--method",
-        choices=("heuristic", "greedy", "exact", "milp"),
+        choices=available_solvers(),
         default="heuristic",
     )
     size.add_argument("--timeout", type=float, default=None)
@@ -254,6 +256,11 @@ def _cmd_stats(args) -> int:
                     f" computed={context.get(f'{artifact}.miss', 0)}"
                     f" reused={context.get(f'{artifact}.hit', 0)}"
                 )
+        solver = stats.get("solver") or {}
+        if solver:
+            print("solver-kernel counters:")
+            for key in sorted(solver):
+                print(f"  {key:<22} {solver[key]}")
     return 0
 
 

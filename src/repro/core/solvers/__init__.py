@@ -18,11 +18,23 @@ from .exact import (
     ExactTimeout,
     solve_td_exact,
     solve_td_exact_instance,
+    solve_td_exact_reference_instance,
 )
 from .facade import QsSolution, size_queues
 from .fixed import fixed_qs_mst, fixed_qs_profile, minimal_fixed_q
 from .greedy import solve_td_greedy, solve_td_greedy_instance
-from .heuristic import solve_td_heuristic, solve_td_heuristic_instance
+from .heuristic import (
+    solve_td_heuristic,
+    solve_td_heuristic_instance,
+    solve_td_heuristic_reference_instance,
+)
+from .kernel import (
+    KernelStats,
+    NodeLimitReached,
+    TdKernel,
+    compile_td,
+    kernel_enabled,
+)
 from .milp import (
     MilpOutcome,
     lp_lower_bound,
@@ -38,12 +50,19 @@ __all__ = [
     "available_solvers",
     "get_solver",
     "register_solver",
+    "compile_td",
+    "TdKernel",
+    "KernelStats",
+    "NodeLimitReached",
+    "kernel_enabled",
     "solve_td_heuristic",
     "solve_td_heuristic_instance",
+    "solve_td_heuristic_reference_instance",
     "solve_td_greedy",
     "solve_td_greedy_instance",
     "solve_td_exact",
     "solve_td_exact_instance",
+    "solve_td_exact_reference_instance",
     "solve_td_milp",
     "solve_td_milp_instance",
     "lp_lower_bound",

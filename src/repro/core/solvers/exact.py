@@ -23,17 +23,29 @@ from dataclasses import dataclass
 
 from .. import token_deficit as td
 from ._compat import solver_entrypoint
+from .kernel import DEADLINE_STRIDE as _DEADLINE_STRIDE
+from .kernel import compile_td, empty_stats, kernel_enabled
 
 __all__ = [
     "ExactOutcome",
     "ExactTimeout",
     "solve_td_exact",
     "solve_td_exact_instance",
+    "solve_td_exact_reference_instance",
 ]
 
 
 class ExactTimeout(Exception):
-    """The exact search exceeded its wall-clock budget."""
+    """The exact search exceeded its wall-clock budget.
+
+    Attributes:
+        overshoot: Seconds past the deadline when the in-DFS check
+            fired (0.0 when raised between bisection probes).
+    """
+
+    def __init__(self, message: str = "", overshoot: float = 0.0) -> None:
+        super().__init__(message or "exact search timed out")
+        self.overshoot = overshoot
 
 
 @dataclass(frozen=True)
@@ -69,9 +81,10 @@ def _feasible_with_budget(
 
     def dfs(remaining: int) -> bool:
         counter[0] += 1
-        if deadline is not None and counter[0] % 256 == 0:
-            if time.monotonic() > deadline:
-                raise ExactTimeout
+        if deadline is not None and counter[0] % _DEADLINE_STRIDE == 0:
+            now = time.monotonic()
+            if now > deadline:
+                raise ExactTimeout(overshoot=now - deadline)
         # Find the worst uncovered cycle.
         worst_idx = -1
         worst = 0
@@ -114,9 +127,45 @@ def solve_td_exact_instance(
     timeout: float | None = None,
     upper_bound: int | None = None,
 ) -> tuple[dict[int, int], dict]:
-    """Normalized registry signature: ``(weights, stats)``."""
+    """Normalized registry signature: ``(weights, stats)``.
+
+    Runs on the bitset-compiled kernel (:mod:`.kernel`) unless
+    ``REPRO_TD_KERNEL=0`` routes it through the pure-Python reference
+    search.  Both return the optimal residual cost; the witness weights
+    may differ between backends (ties in the search order).
+    """
+    if kernel_enabled():
+        if instance.is_trivial:
+            stats = empty_stats()
+            stats["backend"] = "kernel"
+            stats["deadline_overshoot"] = 0.0
+            return {}, stats
+        kern = compile_td(instance)
+        weights, kstats = kern.solve_exact(
+            upper_bound=upper_bound, timeout=timeout
+        )
+        stats = kstats.as_dict()
+        stats["backend"] = "kernel"
+        stats["deadline_overshoot"] = kstats.deadline_overshoot
+        return weights, stats
+    return solve_td_exact_reference_instance(
+        instance, timeout=timeout, upper_bound=upper_bound
+    )
+
+
+def solve_td_exact_reference_instance(
+    instance: td.TokenDeficitInstance,
+    *,
+    timeout: float | None = None,
+    upper_bound: int | None = None,
+) -> tuple[dict[int, int], dict]:
+    """The pure-Python reference search (registry name ``exact-ref``):
+    the differential oracle the kernel is validated against."""
     outcome = _search(instance, upper_bound=upper_bound, timeout=timeout)
-    return outcome.weights, {"nodes_explored": outcome.nodes_explored}
+    stats = empty_stats()
+    stats["nodes_explored"] = outcome.nodes_explored
+    stats["backend"] = "reference"
+    return outcome.weights, stats
 
 
 @solver_entrypoint("exact")

@@ -16,8 +16,13 @@ from __future__ import annotations
 
 from .. import token_deficit as td
 from ._compat import solver_entrypoint
+from .kernel import compile_td, empty_stats, kernel_enabled
 
-__all__ = ["solve_td_heuristic", "solve_td_heuristic_instance"]
+__all__ = [
+    "solve_td_heuristic",
+    "solve_td_heuristic_instance",
+    "solve_td_heuristic_reference_instance",
+]
 
 
 def solve_td_heuristic_instance(
@@ -26,9 +31,26 @@ def solve_td_heuristic_instance(
     """Normalized registry signature: ``(weights, stats)``.
 
     The descent always terminates quickly, so ``timeout`` is accepted
-    for signature uniformity but not consulted.
+    for signature uniformity but not consulted.  Runs on the compiled
+    kernel (incremental coverage vector) unless ``REPRO_TD_KERNEL=0``;
+    both backends return bit-for-bit identical weights.
     """
-    return _descend(instance), {}
+    if kernel_enabled() and not instance.is_trivial:
+        kern = compile_td(instance)
+        stats = empty_stats()
+        stats["backend"] = "kernel"
+        return kern.solve_heuristic(), stats
+    return solve_td_heuristic_reference_instance(instance, timeout=timeout)
+
+
+def solve_td_heuristic_reference_instance(
+    instance: td.TokenDeficitInstance, *, timeout: float | None = None
+) -> tuple[dict[int, int], dict]:
+    """The pure-Python reference descent (registry name
+    ``heuristic-ref``): the differential oracle for the kernel."""
+    stats = empty_stats()
+    stats["backend"] = "reference"
+    return _descend(instance), stats
 
 
 @solver_entrypoint("heuristic")

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from .. import token_deficit as td
 from ._compat import solver_entrypoint
 from .exact import ExactTimeout
+from .kernel import compile_td, empty_stats, kernel_enabled
 
 __all__ = [
     "MilpOutcome",
@@ -60,12 +61,15 @@ class MilpOutcome:
         cost: Total tokens (== sum of weights).
         lp_bound: The root LP relaxation's optimal value.
         nodes_explored: Branch-and-bound nodes solved.
+        batch_checks: Kernel batch-feasibility rows spent validating
+            the ceil-rounded root-LP warm start (0 with the kernel off).
     """
 
     weights: dict[int, int]
     cost: int
     lp_bound: float
     nodes_explored: int
+    batch_checks: int = 0
 
 
 def _build_rows(instance: td.TokenDeficitInstance):
@@ -112,10 +116,12 @@ def solve_td_milp_instance(
 ) -> tuple[dict[int, int], dict]:
     """Normalized registry signature: ``(weights, stats)``."""
     outcome = _branch_and_bound(instance, timeout=timeout)
-    return outcome.weights, {
-        "nodes_explored": outcome.nodes_explored,
-        "lp_bound": outcome.lp_bound,
-    }
+    stats = empty_stats()
+    stats["nodes_explored"] = outcome.nodes_explored
+    stats["batch_checks"] = outcome.batch_checks
+    stats["lp_bound"] = outcome.lp_bound
+    stats["backend"] = "milp"
+    return outcome.weights, stats
 
 
 @solver_entrypoint("milp")
@@ -156,6 +162,8 @@ def _branch_and_bound(
     best_cost = sum(incumbent.values())
     best = {ch: incumbent.get(ch, 0) for ch in channels}
 
+    kern = compile_td(instance) if kernel_enabled() else None
+    batch_checks = 0
     root_bound: float | None = None
     nodes = 0
     # Each frame: (lower_bounds, upper_bounds) per variable.
@@ -176,6 +184,28 @@ def _branch_and_bound(
         nodes += 1
         if root_bound is None:
             root_bound = float(result.fun) if result.success else math.inf
+            if result.success and kern is not None:
+                # Warm start: ceil-rounding the root relaxation of a
+                # covering LP is always feasible; the kernel's batch
+                # check validates the candidate before it replaces the
+                # descent incumbent.
+                candidate = [math.ceil(xi - _EPS) for xi in result.x]
+                before = kern.stats.batch_checks
+                feasible = bool(
+                    kern.check_batch(
+                        [
+                            {
+                                ch: w
+                                for ch, w in zip(channels, candidate)
+                                if w
+                            }
+                        ]
+                    )[0]
+                )
+                batch_checks += kern.stats.batch_checks - before
+                if feasible and sum(candidate) < best_cost:
+                    best_cost = sum(candidate)
+                    best = dict(zip(channels, candidate))
         if not result.success:
             continue  # infeasible branch
         value = float(result.fun)
@@ -212,4 +242,5 @@ def _branch_and_bound(
         cost=best_cost,
         lp_bound=root_bound or 0.0,
         nodes_explored=nodes,
+        batch_checks=batch_checks,
     )

@@ -19,9 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from .exact import solve_td_exact_instance
+from .exact import (
+    solve_td_exact_instance,
+    solve_td_exact_reference_instance,
+)
 from .greedy import solve_td_greedy_instance
-from .heuristic import solve_td_heuristic_instance
+from .heuristic import (
+    solve_td_heuristic_instance,
+    solve_td_heuristic_reference_instance,
+)
 from .milp import solve_td_milp_instance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -133,7 +139,12 @@ def available_solvers() -> tuple[str, ...]:
 register_solver(
     "heuristic",
     solve_td_heuristic_instance,
-    description="Section VII-B decrement-and-test descent",
+    description="Section VII-B decrement-and-test descent (bitset kernel)",
+)
+register_solver(
+    "heuristic-ref",
+    solve_td_heuristic_reference_instance,
+    description="pure-Python reference descent (kernel oracle)",
 )
 register_solver(
     "greedy",
@@ -143,7 +154,13 @@ register_solver(
 register_solver(
     "exact",
     solve_td_exact_instance,
-    description="binary search + branch and bound (optimal)",
+    description="binary search + branch and bound (optimal, bitset kernel)",
+    supports_timeout=True,
+)
+register_solver(
+    "exact-ref",
+    solve_td_exact_reference_instance,
+    description="pure-Python reference exact search (kernel oracle)",
     supports_timeout=True,
 )
 register_solver(

@@ -63,25 +63,53 @@ class TokenDeficitInstance:
     forced: dict[int, int] = field(default_factory=dict)
     cycles: list[CycleRecord] = field(default_factory=list)
     target: Fraction = Fraction(1)
+    #: Lazily built cycle -> covering channels reverse index, kept in
+    #: sync by the simplification rules.  Mutating ``sets`` directly
+    #: (rather than through ``simplify``) requires
+    #: :meth:`invalidate_cover_index`.
+    _cover_index: dict[int, set[int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Memoized :func:`repro.core.solvers.kernel.compile_td` result so
+    #: that the heuristic, exact, and MILP solvers compile one shared
+    #: kernel per instance.  Cleared together with the cover index.
+    _kernel: object = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Feasibility
     # ------------------------------------------------------------------
+    def _cover_index_map(self) -> dict[int, set[int]]:
+        """The reverse index, built on first use in one O(sum |s_i|)
+        pass -- previously every ``covering_channels`` query re-scanned
+        all sets, making rule 3 and the feasibility checks quadratic."""
+        index = self._cover_index
+        if index is None:
+            index = {}
+            for channel, covered in self.sets.items():
+                for idx in covered:
+                    index.setdefault(idx, set()).add(channel)
+            self._cover_index = index
+        return index
+
+    def invalidate_cover_index(self) -> None:
+        """Drop the cached reverse index and compiled kernel (call
+        after mutating ``sets`` outside the simplification rules)."""
+        self._cover_index = None
+        self._kernel = None
+
     def covering_channels(self, cycle_idx: int) -> set[int]:
         """Channels whose weight counts toward ``cycle_idx``'s deficit."""
-        return {
-            channel
-            for channel, covered in self.sets.items()
-            if cycle_idx in covered
-        }
+        return set(self._cover_index_map().get(cycle_idx, ()))
 
     def is_solution(self, weights: dict[int, int]) -> bool:
         """Check a weight assignment (over the residual problem)."""
+        index = self._cover_index_map()
         for cycle_idx, deficit in self.deficits.items():
             covered = sum(
                 weights.get(channel, 0)
-                for channel, cycles in self.sets.items()
-                if cycle_idx in cycles
+                for channel in index.get(cycle_idx, ())
             )
             if covered < deficit:
                 return False
@@ -121,6 +149,7 @@ class TokenDeficitInstance:
         unknown = set(rules) - {"subset", "singleton"}
         if unknown:
             raise ValueError(f"unknown simplification rules: {sorted(unknown)}")
+        self._kernel = None
         changed = True
         while changed:
             changed = False
@@ -147,7 +176,12 @@ class TokenDeficitInstance:
                 if sb <= sa:
                     doomed.add(b)
         for channel in doomed:
-            del self.sets[channel]
+            covered = self.sets.pop(channel)
+            if self._cover_index is not None:
+                for idx in covered:
+                    chans = self._cover_index.get(idx)
+                    if chans is not None:
+                        chans.discard(channel)
         return bool(doomed)
 
     def _force_singletons(self) -> bool:
@@ -179,18 +213,26 @@ class TokenDeficitInstance:
 
     def _discount(self, channel: int, amount: int) -> None:
         """Reduce the residual deficit of every cycle covered by
-        ``channel`` by ``amount``, dropping fully covered cycles."""
+        ``channel`` by ``amount``, dropping fully covered cycles.
+
+        Fully covered cycles are removed from exactly their covering
+        sets (via the reverse index) rather than by scanning every set.
+        """
+        index = self._cover_index_map()
         for idx in list(self.sets.get(channel, ())):
             if idx not in self.deficits:
                 continue
             residual = self.deficits[idx] - amount
             if residual <= 0:
                 del self.deficits[idx]
-                for covered in self.sets.values():
-                    covered.discard(idx)
+                for ch in index.pop(idx, ()):
+                    cov = self.sets.get(ch)
+                    if cov is not None:
+                        cov.discard(idx)
             else:
                 self.deficits[idx] = residual
-        # Drop channels whose coverage became empty.
+        # Drop channels whose coverage became empty (no live cycle
+        # references them, so the index needs no update).
         for ch in [c for c, cov in self.sets.items() if not cov]:
             del self.sets[ch]
 

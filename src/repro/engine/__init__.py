@@ -18,6 +18,7 @@ content-hash cache layers.
 from .cache import DiskCache, LruCache, canonical_options, content_key
 from .core import AnalysisEngine, EngineStats, OpStats, analyze_many
 from .ops import available_ops, get_op, register_op, run_op
+from .portfolio import PORTFOLIO_NODE_LIMIT, solve_exact_portfolio
 
 __all__ = [
     "AnalysisEngine",
@@ -28,6 +29,8 @@ __all__ = [
     "get_op",
     "register_op",
     "run_op",
+    "solve_exact_portfolio",
+    "PORTFOLIO_NODE_LIMIT",
     "DiskCache",
     "LruCache",
     "canonical_options",

@@ -72,6 +72,10 @@ class EngineStats:
     #: Aggregated repro.analysis per-artifact counters
     #: (``"<artifact>.hit"`` / ``"<artifact>.miss"``) from every op run.
     context: dict[str, int] = field(default_factory=dict)
+    #: Aggregated solver-kernel search counters (``nodes_explored``,
+    #: ``table_hits``, ``bound_cuts``, ``batch_checks``) from every op
+    #: that ran a registry solver.
+    solver: dict[str, int] = field(default_factory=dict)
 
     def op(self, name: str) -> OpStats:
         if name not in self.ops:
@@ -103,6 +107,10 @@ class EngineStats:
         for key, value in (counters or {}).items():
             self.context[key] = self.context.get(key, 0) + int(value)
 
+    def merge_solver(self, counters: dict[str, int]) -> None:
+        for key, value in (counters or {}).items():
+            self.solver[key] = self.solver.get(key, 0) + int(value)
+
     def as_dict(self) -> dict:
         return {
             "batches": self.batches,
@@ -111,6 +119,7 @@ class EngineStats:
             "serialize_seconds": self.serialize_seconds,
             "ops": {name: s.as_dict() for name, s in self.ops.items()},
             "context": dict(self.context),
+            "solver": dict(self.solver),
         }
 
     def render(self) -> str:
@@ -139,6 +148,10 @@ class EngineStats:
                     f"{self.context.get(f'{artifact}.miss', 0):>9}"
                     f"{self.context.get(f'{artifact}.hit', 0):>9}"
                 )
+        if self.solver:
+            lines.append(f"{'solver counter':<22}{'total':>9}")
+            for key in sorted(self.solver):
+                lines.append(f"{key:<22}{self.solver[key]:>9}")
         return "\n".join(lines)
 
 
@@ -286,6 +299,7 @@ class AnalysisEngine:
             per_op.seconds += meta.get("elapsed", 0.0)
             per_op.solver_calls += meta.get("solver_calls", 0)
             self.stats.merge_context(meta.get("context") or {})
+            self.stats.merge_solver(meta.get("solver") or {})
             self._memory.put(key, value)
             if self._disk is not None:
                 self._disk.put(op, key, value)

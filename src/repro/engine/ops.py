@@ -74,6 +74,29 @@ def _coerce_target(value) -> Fraction | None:
     return Fraction(value)
 
 
+#: The uniform per-solver counters threaded through op meta into
+#: ``EngineStats.solver`` and the ``repro stats`` solver table.
+SOLVER_COUNTER_KEYS = (
+    "nodes_explored",
+    "table_hits",
+    "bound_cuts",
+    "batch_checks",
+)
+
+
+def _solver_counters(*stats_dicts: dict) -> dict[str, int]:
+    """Merge solver stats dicts into the uniform numeric counters the
+    engine aggregates (``EngineStats.solver``); solver-specific extras
+    such as ``backend`` labels or ``lp_bound`` are dropped."""
+    out: dict[str, int] = {}
+    for stats in stats_dicts:
+        for key in SOLVER_COUNTER_KEYS:
+            value = (stats or {}).get(key)
+            if isinstance(value, (int, float)):
+                out[key] = out.get(key, 0) + int(value)
+    return out
+
+
 def _op_ideal_mst(ctx: Context, options: dict):
     return ideal_mst(ctx), {"solver_calls": 0}
 
@@ -117,7 +140,10 @@ def _op_size_queues(ctx: Context, options: dict):
         max_cycles=options.get("max_cycles"),
         verify=options.get("verify", True),
     )
-    return solution, {"solver_calls": 1}
+    return solution, {
+        "solver_calls": 1,
+        "solver": _solver_counters(solution.stats),
+    }
 
 
 def _op_analyze(ctx: Context, options: dict):
@@ -128,7 +154,52 @@ def _op_analyze(ctx: Context, options: dict):
         method=options.get("method", "heuristic"),
         max_cycles=options.get("max_cycles"),
     )
-    return report, {"solver_calls": 1 if report.fix is not None else 0}
+    meta: dict = {"solver_calls": 1 if report.fix is not None else 0}
+    if report.fix is not None:
+        meta["solver"] = _solver_counters(report.fix.stats)
+    return report, meta
+
+
+def _op_td_probe(ctx: Context, options: dict):
+    """One root-partitioned feasibility probe of the exact search: "is
+    there a solution with <= ``budget`` tokens whose first token lands
+    on ``root_channel``?" -- the unit of work
+    :func:`~repro.engine.solve_exact_portfolio` fans out per bisection
+    budget.
+
+    Options: ``budget`` (int, required), ``root_channel`` (optional
+    channel id), ``target`` (optional throughput, e.g. ``"7/8"``),
+    ``collapse`` (default True: probe the rule-4 collapsed system when
+    the topology allows it),
+    ``timeout`` (seconds).  Returns ``{"feasible", "weights", "stats"}``
+    over the (collapsed) residual problem.
+    """
+    from ..core.solvers.kernel import KernelStats
+
+    work = ctx
+    if options.get("collapse", True) and ctx.is_collapsible():
+        work, _ = ctx.collapsed()
+    kern = work.td_kernel(_coerce_target(options.get("target")))
+    stats = KernelStats()
+    deadline = None
+    if options.get("timeout") is not None:
+        deadline = time.monotonic() + float(options["timeout"])
+    root = options.get("root_channel")
+    weights = kern.feasible(
+        int(options["budget"]),
+        root_channel=None if root is None else int(root),
+        deadline=deadline,
+        stats=stats,
+    )
+    result = {
+        "feasible": weights is not None,
+        "weights": weights,
+        "stats": stats.as_dict(),
+    }
+    return result, {
+        "solver_calls": 1,
+        "solver": _solver_counters(stats.as_dict()),
+    }
 
 
 def _op_table4_trial(ctx: Context, options: dict):
@@ -150,24 +221,36 @@ def _op_table4_trial(ctx: Context, options: dict):
     collapsed, _ = ctx.collapsed()
     inter_scc_cycles = len(collapsed.cycle_records())
     instance = collapsed.td_instance(target=Fraction(1), simplify=True)
-    heuristic_weights, _stats = get_solver("heuristic").solve_instance(instance)
+    t0 = time.perf_counter()
+    heuristic_weights, heur_stats = get_solver("heuristic").solve_instance(
+        instance
+    )
+    heuristic_ms = (time.perf_counter() - t0) * 1e3
     heuristic_cost = instance.solution_cost(heuristic_weights)
     exact_cost: int | None = None
+    exact_stats: dict = {}
+    t0 = time.perf_counter()
     try:
-        weights, _stats = get_solver("exact").solve_instance(
+        weights, exact_stats = get_solver("exact").solve_instance(
             instance, timeout=options.get("exact_timeout")
         )
         exact_cost = sum(weights.values()) + sum(instance.forced.values())
     except ExactTimeout:
         pass
+    exact_ms = (time.perf_counter() - t0) * 1e3
     result = {
         "edges": len(ctx.channels()),
         "inter_scc_edges": inter_scc_edges,
         "inter_scc_cycles": inter_scc_cycles,
         "heuristic_cost": heuristic_cost,
+        "heuristic_ms": heuristic_ms,
+        "heuristic_stats": heur_stats,
         "exact_cost": exact_cost,
+        "exact_ms": exact_ms,
+        "exact_stats": exact_stats,
     }
-    return result, {"solver_calls": 2}
+    meta = {"solver_calls": 2, "solver": _solver_counters(heur_stats, exact_stats)}
+    return result, meta
 
 
 def _op_exhaustive_placement(ctx: Context, options: dict):
@@ -200,10 +283,13 @@ def _op_simulate_batch(ctx: Context, options: dict):
 
     Options: ``assignments`` (list of ``{channel id: extra tokens}``;
     default ``[{}]``), ``clocks`` (measured cycles, default 400),
-    ``warmup`` (discarded leading cycles, default 100).  Returns one
-    dict per assignment: ``throughput`` ({shell: Fraction} over the
-    measurement window) and ``max_occupancy`` ({channel id: peak items
-    on the consumer shell's queue}).
+    ``warmup`` (discarded leading cycles, default 100),
+    ``check_feasible`` (default False: also validate every assignment
+    against the *unsimplified* token-deficit kernel in one batch
+    matrix check, reported as a ``feasible`` flag per assignment).
+    Returns one dict per assignment: ``throughput`` ({shell: Fraction}
+    over the measurement window) and ``max_occupancy`` ({channel id:
+    peak items on the consumer shell's queue}).
     """
     from ..sim import BatchSimulator
 
@@ -213,23 +299,33 @@ def _op_simulate_batch(ctx: Context, options: dict):
     ]
     clocks = int(options.get("clocks", 400))
     warmup = int(options.get("warmup", 100))
+    flags = None
+    solver_meta: dict = {}
+    if options.get("check_feasible"):
+        kern = ctx.td_kernel(simplify=False)
+        flags = [bool(f) for f in kern.check_batch(assignments)]
+        solver_meta = _solver_counters({"batch_checks": len(assignments)})
     sim = BatchSimulator(ctx, assignments)
     result = sim.run(warmup + clocks, warmup=warmup)
     compiled = sim.compiled
     out = []
     for b in range(result.width):
         rates = result.throughput(b)
-        out.append(
-            {
-                "throughput": {
-                    name: rates[name]
-                    for i, name in enumerate(compiled.node_names)
-                    if compiled.is_shell[i]
-                },
-                "max_occupancy": result.max_queue_occupancy(b),
-            }
-        )
-    return out, {"solver_calls": 0, "simulated_cycles": warmup + clocks}
+        entry = {
+            "throughput": {
+                name: rates[name]
+                for i, name in enumerate(compiled.node_names)
+                if compiled.is_shell[i]
+            },
+            "max_occupancy": result.max_queue_occupancy(b),
+        }
+        if flags is not None:
+            entry["feasible"] = flags[b]
+        out.append(entry)
+    meta = {"solver_calls": 0, "simulated_cycles": warmup + clocks}
+    if solver_meta:
+        meta["solver"] = solver_meta
+    return out, meta
 
 
 register_op("ideal_mst", _op_ideal_mst)
@@ -238,5 +334,6 @@ register_op("mst_sweep", _op_mst_sweep)
 register_op("size_queues", _op_size_queues)
 register_op("analyze", _op_analyze)
 register_op("table4_trial", _op_table4_trial)
+register_op("td_probe", _op_td_probe)
 register_op("exhaustive_placement", _op_exhaustive_placement)
 register_op("simulate_batch", _op_simulate_batch)

@@ -1,0 +1,166 @@
+"""Engine-parallel exact queue sizing (the portfolio driver).
+
+The exact solver's search tree partitions at the root: every optimal
+solution puts at least one token on a covering channel of the
+worst-deficit cycle, so "is budget K feasible?" decomposes into
+independent sub-questions, one per root branch
+(:meth:`~repro.core.solvers.TdKernel.root_branch_channels`).  Each
+sub-question is a pure engine op (``td_probe``), so it caches by
+content and fans out across worker processes like any other analysis.
+
+:func:`solve_exact_portfolio` keeps easy instances cheap: it first runs
+the compiled kernel's bisection in process under a node budget, and
+only instances that blow past :data:`PORTFOLIO_NODE_LIMIT` nodes pay
+the fan-out overhead -- each bisection budget then probes all root
+branches in parallel and combines their answers.
+"""
+
+from __future__ import annotations
+
+import time
+from fractions import Fraction
+
+from ..analysis import Context, get_context
+from ..core.lis_graph import LisGraph
+from ..core.solvers.exact import ExactTimeout
+from ..core.solvers.kernel import KernelStats, NodeLimitReached
+from .core import AnalysisEngine
+
+__all__ = ["PORTFOLIO_NODE_LIMIT", "solve_exact_portfolio"]
+
+#: In-process node budget before the search escalates to the engine.
+PORTFOLIO_NODE_LIMIT = 20_000
+
+
+def solve_exact_portfolio(
+    lis: LisGraph | Context,
+    *,
+    engine: AnalysisEngine | None = None,
+    target: Fraction | None = None,
+    timeout: float | None = None,
+    node_limit: int = PORTFOLIO_NODE_LIMIT,
+    collapse: bool = True,
+) -> tuple[dict[int, int], dict]:
+    """Optimal queue sizing with engine-parallel root splitting.
+
+    Args:
+        lis: The system (or its :class:`~repro.analysis.Context`).
+        engine: Engine to fan probes out through; a transient
+            auto-sized one is created (and closed) when omitted.
+        target: Throughput to restore; default = the ideal MST.
+        timeout: Wall-clock budget in seconds, shared by the in-process
+            attempt and every probe (:class:`ExactTimeout` on expiry).
+        node_limit: In-process DFS nodes before escalating to the
+            engine (``<= 0`` escalates immediately).
+        collapse: Solve the rule-4 collapsed system (the Table IV
+            setting) when the topology allows it -- like the facade's
+            ``collapse="auto"``, systems with intra-SCC relay stations
+            fall back to the full graph; the returned channel ids are
+            mapped back.
+
+    Returns:
+        ``(extra_tokens, stats)`` -- the *complete* optimal assignment
+        (forced weights merged, channel ids of the input system) and
+        the uniform solver stats dict, with ``stats["portfolio"]``
+        recording whether the engine fan-out was needed.
+    """
+    ctx = get_context(lis)
+    work, channel_map = ctx, None
+    if collapse and ctx.is_collapsible():
+        work, channel_map = ctx.collapsed()
+    kern = work.td_kernel(target)
+    deadline = None if timeout is None else time.monotonic() + timeout
+    stats = KernelStats()
+
+    def finish(weights: dict[int, int], used_portfolio: bool):
+        merged = dict(kern.forced)
+        for cid, tokens in weights.items():
+            if tokens:
+                merged[cid] = merged.get(cid, 0) + tokens
+        if channel_map is not None:
+            merged = {
+                channel_map[cid]: tokens for cid, tokens in merged.items()
+            }
+        out = stats.as_dict()
+        out["backend"] = "kernel"
+        out["portfolio"] = used_portfolio
+        return merged, out
+
+    if node_limit > 0:
+        try:
+            weights, _ = kern.solve_exact(
+                deadline=deadline, node_limit=node_limit, stats=stats
+            )
+            return finish(weights, used_portfolio=False)
+        except NodeLimitReached:
+            pass
+
+    roots = kern.root_branch_channels()
+    if not roots:  # trivial residual problem (pragma: node_limit <= 0)
+        return finish({}, used_portfolio=False)
+
+    own_engine = engine is None
+    eng = engine if engine is not None else AnalysisEngine(jobs="auto")
+    try:
+
+        def probe(budget: int) -> dict[int, int] | None:
+            """Feasibility at ``budget`` via one root-split fan-out.
+
+            ``work`` is already the (possibly collapsed) system the
+            weights refer to, so the probes run with collapse off.
+            """
+            options: dict = {"budget": budget, "collapse": False}
+            if target is not None:
+                options["target"] = str(target)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ExactTimeout
+                options["timeout"] = remaining
+            outcomes = eng.run(
+                [
+                    ("td_probe", work, {**options, "root_channel": c})
+                    for c in roots
+                ]
+            )
+            best_w = None
+            for outcome in outcomes:
+                probe_stats = outcome["stats"]
+                stats.nodes_explored += probe_stats["nodes_explored"]
+                stats.table_hits += probe_stats["table_hits"]
+                stats.bound_cuts += probe_stats["bound_cuts"]
+                if outcome["feasible"]:
+                    weights = {
+                        int(c): int(w)
+                        for c, w in outcome["weights"].items()
+                    }
+                    if best_w is None or sum(weights.values()) < sum(
+                        best_w.values()
+                    ):
+                        best_w = weights
+            return best_w
+
+        heuristic = kern.solve_heuristic()
+        low = max(kern.root_lower_bound(), max(kern.deficits))
+        high = sum(heuristic.values())
+        if high <= low:  # heuristic meets the admissible bound: optimal
+            return finish(heuristic, used_portfolio=False)
+        best: dict[int, int] | None = None
+        while low < high:
+            mid = (low + high) // 2
+            found = probe(mid)
+            if found is not None:
+                best = found
+                high = sum(found.values())
+            else:
+                low = mid + 1
+        if best is None or sum(best.values()) > low:
+            best = probe(low)
+            if best is None:  # pragma: no cover - upper bound is feasible
+                raise RuntimeError(
+                    "portfolio bisection converged on infeasible budget"
+                )
+        return finish(best, used_portfolio=True)
+    finally:
+        if own_engine:
+            eng.close()

@@ -145,6 +145,9 @@ class Table4Row:
     heuristic_solutions_finished: list[int] = field(default_factory=list)
     unfinished_cycles: list[float] = field(default_factory=list)
     heuristic_solutions_unfinished: list[int] = field(default_factory=list)
+    exact_ms: list[float] = field(default_factory=list)
+    heuristic_ms: list[float] = field(default_factory=list)
+    solver_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def percent_exact_finished(self) -> float:
@@ -166,6 +169,10 @@ class Table4Row:
             f"{self.percent_exact_finished:.2f}",
             mean(self.unfinished_cycles),
             mean(self.heuristic_solutions_unfinished),
+            f"{statistics.fmean(self.exact_ms):.2f}" if self.exact_ms else None,
+            f"{statistics.fmean(self.heuristic_ms):.2f}"
+            if self.heuristic_ms
+            else None,
         ]
 
     HEADERS = [
@@ -179,6 +186,8 @@ class Table4Row:
         "%ExactFin",
         "CyclesUnfin",
         "HeurNoExact",
+        "Exact ms",
+        "Heur ms",
     ]
 
 
@@ -232,6 +241,19 @@ def table4_exact_vs_heuristic(
         sums[row_idx][0] += outcome["edges"]
         sums[row_idx][1] += outcome["inter_scc_edges"]
         sums[row_idx][2] += outcome["inter_scc_cycles"]
+        row.exact_ms.append(outcome.get("exact_ms", 0.0))
+        row.heuristic_ms.append(outcome.get("heuristic_ms", 0.0))
+        for stats in (
+            outcome.get("exact_stats") or {},
+            outcome.get("heuristic_stats") or {},
+        ):
+            for key, value in stats.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    row.solver_stats[key] = row.solver_stats.get(
+                        key, 0
+                    ) + int(value)
         if outcome["exact_cost"] is not None:
             row.exact_solutions.append(outcome["exact_cost"])
             row.heuristic_solutions_finished.append(

@@ -1,0 +1,301 @@
+"""Differential properties of the bitset-compiled TD kernel.
+
+The pure-Python solvers (``exact-ref`` / ``heuristic-ref``) are the
+oracle: on random abstract instances and on instances lowered from
+random whole systems, the kernel must return the same optimal cost
+(exact), bit-for-bit identical weights (heuristic), and row-by-row
+identical feasibility verdicts (``check_batch`` vs ``is_solution``).
+"""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import get_context
+from repro.core.solvers import (
+    ExactTimeout,
+    NodeLimitReached,
+    compile_td,
+    get_solver,
+    kernel_enabled,
+)
+from repro.core.solvers.exact import solve_td_exact_reference_instance
+from repro.core.solvers.heuristic import _descend
+from repro.core.solvers.kernel import TdKernel
+from repro.core.token_deficit import (
+    InfeasibleError,
+    TokenDeficitInstance,
+    build_td_instance,
+)
+from repro.engine import AnalysisEngine, solve_exact_portfolio
+
+from tests.strategies import lis_graphs
+
+
+@st.composite
+def td_instances(draw, max_cycles: int = 8, max_channels: int = 8):
+    """A random feasible TD instance: every cycle is covered by at
+    least one channel (uncovered cycles are dropped, mirroring what
+    simplification guarantees for real systems)."""
+    n_cycles = draw(st.integers(min_value=1, max_value=max_cycles))
+    n_channels = draw(st.integers(min_value=1, max_value=max_channels))
+    sets: dict[int, set[int]] = {}
+    for cid in range(n_channels):
+        cover = draw(
+            st.sets(
+                st.integers(min_value=0, max_value=n_cycles - 1),
+                max_size=n_cycles,
+            )
+        )
+        if cover:
+            sets[cid] = cover
+    covered = set().union(*sets.values()) if sets else set()
+    deficits = {
+        idx: draw(st.integers(min_value=1, max_value=4)) for idx in covered
+    }
+    return TokenDeficitInstance(deficits=deficits, sets=sets)
+
+
+def clone(instance: TokenDeficitInstance) -> TokenDeficitInstance:
+    return TokenDeficitInstance(
+        deficits=dict(instance.deficits),
+        sets={cid: set(cov) for cid, cov in instance.sets.items()},
+        forced=dict(instance.forced),
+    )
+
+
+@given(td_instances())
+@settings(deadline=None)
+def test_kernel_exact_cost_matches_reference(instance):
+    if instance.is_trivial:
+        return
+    kern_weights, kern_stats = get_solver("exact").solve_instance(
+        clone(instance), timeout=60
+    )
+    ref_weights, ref_stats = solve_td_exact_reference_instance(
+        clone(instance), timeout=60
+    )
+    # Same optimum; witnesses may differ (search-order ties).
+    assert sum(kern_weights.values()) == sum(ref_weights.values())
+    assert instance.is_solution(kern_weights)
+    assert instance.is_solution(ref_weights)
+    for stats in (kern_stats, ref_stats):
+        assert {
+            "nodes_explored",
+            "table_hits",
+            "bound_cuts",
+            "batch_checks",
+            "backend",
+        } <= set(stats)
+
+
+@given(td_instances())
+@settings(deadline=None)
+def test_kernel_heuristic_matches_descend_bit_for_bit(instance):
+    kern = compile_td(clone(instance))
+    assert kern.solve_heuristic() == _descend(clone(instance))
+
+
+@given(
+    td_instances(),
+    st.lists(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=4),
+            max_size=8,
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(deadline=None)
+def test_check_batch_agrees_with_is_solution(instance, assignments):
+    kern = compile_td(clone(instance))
+    # Mix in the two solver outputs so feasible rows are well covered.
+    assignments = assignments + [
+        kern.solve_heuristic(),
+        get_solver("exact").solve_instance(clone(instance), timeout=60)[0],
+    ]
+    verdicts = kern.check_batch(assignments)
+    assert len(list(verdicts)) == len(assignments)
+    for weights, verdict in zip(assignments, verdicts):
+        assert bool(verdict) == instance.is_solution(weights)
+    assert kern.stats.batch_checks == len(assignments)
+
+
+@given(lis_graphs(max_shells=4, max_channels=7))
+@settings(deadline=None)
+def test_kernel_agrees_on_lowered_systems(lis):
+    """End-to-end: instances lowered from random whole systems."""
+    try:
+        instance = build_td_instance(lis, simplify=True)
+    except InfeasibleError:
+        return
+    if instance.is_trivial:
+        return
+    kern_weights, _ = get_solver("exact").solve_instance(
+        clone(instance), timeout=60
+    )
+    ref_weights, _ = solve_td_exact_reference_instance(
+        clone(instance), timeout=60
+    )
+    assert sum(kern_weights.values()) == sum(ref_weights.values())
+    assert compile_td(clone(instance)).solve_heuristic() == _descend(
+        clone(instance)
+    )
+
+
+# ----------------------------------------------------------------------
+# Directed unit behavior
+# ----------------------------------------------------------------------
+
+
+def _hard_instance(n: int = 7) -> TokenDeficitInstance:
+    """Pairwise-overlapping covers with uniform deficits -- enough
+    branching to exercise the table, bound, and node limit."""
+    deficits = {i: 2 for i in range(n)}
+    sets = {
+        100 + i: {i, (i + 1) % n, (i + 3) % n} for i in range(n)
+    }
+    return TokenDeficitInstance(deficits=deficits, sets=sets)
+
+
+def test_compile_rejects_uncovered_cycles():
+    with pytest.raises(InfeasibleError):
+        compile_td(
+            TokenDeficitInstance(deficits={0: 1, 1: 1}, sets={5: {0}})
+        )
+
+
+def test_compile_layout_and_reverse_index():
+    instance = TokenDeficitInstance(
+        deficits={0: 1, 1: 3, 2: 2},
+        sets={10: {0, 1}, 7: {1, 2}, 99: {2}},
+    )
+    kern = compile_td(instance)
+    # Rows by decreasing deficit, columns by ascending channel id.
+    assert kern.cycle_ids == (1, 2, 0)
+    assert kern.deficits == (3, 2, 1)
+    assert kern.channels == (7, 10, 99)
+    assert kern.covering_channels(1) == frozenset({7, 10})
+    assert kern.covering_channels(2) == frozenset({7, 99})
+    assert kern.root_branch_channels() == (7, 10)
+    # Masks are consistent transposes of each other.
+    for row in range(kern.n_cycles):
+        for col in range(kern.n_channels):
+            assert bool(kern.cover_mask(row) & (1 << col)) == bool(
+                kern.channel_mask(col) & (1 << row)
+            )
+
+
+def test_node_limit_raises_and_portfolio_recovers():
+    instance = _hard_instance()
+    kern = compile_td(clone(instance))
+    with pytest.raises(NodeLimitReached):
+        kern.solve_exact(node_limit=1)
+    full, _ = compile_td(clone(instance)).solve_exact()
+    assert instance.is_solution(full)
+
+
+def test_deadline_overshoot_is_reported():
+    kern = compile_td(_hard_instance(9))
+    with pytest.raises(ExactTimeout) as excinfo:
+        kern.solve_exact(deadline=time.monotonic() - 1.0)
+    assert excinfo.value.overshoot >= 0.0
+
+
+def test_kernel_env_gate(monkeypatch):
+    monkeypatch.setenv("REPRO_TD_KERNEL", "0")
+    assert not kernel_enabled()
+    instance = _hard_instance(5)
+    weights, stats = get_solver("exact").solve_instance(
+        clone(instance), timeout=60
+    )
+    assert stats["backend"] == "reference"
+    monkeypatch.setenv("REPRO_TD_KERNEL", "1")
+    kweights, kstats = get_solver("exact").solve_instance(
+        clone(instance), timeout=60
+    )
+    assert kstats["backend"] == "kernel"
+    assert sum(weights.values()) == sum(kweights.values())
+
+
+def test_registry_reference_solvers_registered():
+    assert get_solver("exact-ref").name == "exact-ref"
+    assert get_solver("heuristic-ref").name == "heuristic-ref"
+
+
+def test_solver_stats_are_uniform_across_registry():
+    """Every registered solver reports the same counter keys, so the
+    engine and ``repro stats`` render one table (zeros included)."""
+    instance = _hard_instance(4)
+    for name in ("heuristic", "heuristic-ref", "greedy", "exact",
+                 "exact-ref", "milp"):
+        try:
+            _, stats = get_solver(name).solve_instance(
+                clone(instance), timeout=60
+            )
+        except ImportError:  # milp without scipy
+            continue
+        assert {
+            "nodes_explored",
+            "table_hits",
+            "bound_cuts",
+            "batch_checks",
+        } <= set(stats), name
+
+
+def test_portfolio_matches_exact_on_a_system():
+    from repro.gen import GeneratorConfig, generate_lis
+
+    lis = generate_lis(
+        GeneratorConfig(
+            v=20, s=3, c=1, rs=6, rp=True, policy="scc", seed=11
+        )
+    )
+    ctx = get_context(lis)
+    expected = get_solver("exact").solve(lis, timeout=60)
+    with AnalysisEngine(jobs=1) as engine:
+        tokens, stats = solve_exact_portfolio(
+            ctx, engine=engine, timeout=60, node_limit=0
+        )
+    assert sum(tokens.values()) == expected.cost
+    assert stats["portfolio"] in (True, False)
+    from repro.core import actual_mst, ideal_mst
+
+    assert actual_mst(lis, tokens).mst >= ideal_mst(lis).mst
+
+
+def test_portfolio_falls_back_on_non_collapsible_systems():
+    """Intra-SCC relay stations defeat the rule-4 collapse; the
+    portfolio must degrade to the full graph like collapse="auto"."""
+    from repro.gen.examples import fig15_lis
+
+    lis = fig15_lis()
+    ctx = get_context(lis)
+    assert not ctx.is_collapsible()
+    expected = get_solver("exact").solve(lis, timeout=60)
+    tokens, stats = solve_exact_portfolio(lis, timeout=60)
+    assert sum(tokens.values()) == expected.cost
+    # Forced fan-out must agree too.
+    tokens, _ = solve_exact_portfolio(lis, timeout=60, node_limit=0)
+    assert sum(tokens.values()) == expected.cost
+
+
+def test_context_td_kernel_is_cached():
+    from repro.gen import GeneratorConfig, generate_lis
+
+    lis = generate_lis(
+        GeneratorConfig(
+            v=16, s=2, c=1, rs=3, rp=True, policy="scc", seed=5
+        )
+    )
+    ctx = get_context(lis)
+    first = ctx.td_kernel()
+    assert isinstance(first, TdKernel)
+    assert ctx.td_kernel() is first
+    # The unsimplified variant is a distinct artifact (no forcing).
+    assert ctx.td_kernel(simplify=False) is not first
+    assert ctx.td_kernel(simplify=False).forced == {}
