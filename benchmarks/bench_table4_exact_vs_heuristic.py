@@ -17,12 +17,15 @@ from repro.experiments import (
 )
 
 
-def test_table4_exact_vs_heuristic(benchmark, publish, engine):
+def test_table4_exact_vs_heuristic(benchmark, publish, engine, checkpoint):
     n_trials = trials()
     timeout = exact_timeout()
     rows = benchmark.pedantic(
         lambda: table4_exact_vs_heuristic(
-            trials=n_trials, exact_timeout=timeout, engine=engine
+            trials=n_trials,
+            exact_timeout=timeout,
+            engine=engine,
+            checkpoint=checkpoint,
         ),
         rounds=1,
         iterations=1,

@@ -13,12 +13,15 @@ from repro.experiments import cofdm_limit, exact_timeout, render_table
 from repro.soc import PAPER_REPORTED, run_exhaustive_insertion
 
 
-def test_table5_cofdm_exhaustive(benchmark, publish, engine):
+def test_table5_cofdm_exhaustive(benchmark, publish, engine, checkpoint):
     limit = cofdm_limit()
     timeout = exact_timeout()
     report = benchmark.pedantic(
         lambda: run_exhaustive_insertion(
-            exact_timeout=timeout, limit=limit, engine=engine
+            exact_timeout=timeout,
+            limit=limit,
+            engine=engine,
+            checkpoint=checkpoint,
         ),
         rounds=1,
         iterations=1,

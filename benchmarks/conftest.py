@@ -29,6 +29,14 @@ def pytest_addoption(parser):
         default=os.environ.get("REPRO_CACHE") or None,
         help="analysis-engine result cache directory",
     )
+    group.addoption(
+        "--checkpoint",
+        default=os.environ.get("REPRO_CHECKPOINT") or None,
+        help=(
+            "journal completed engine tasks to FILE and resume an "
+            "interrupted sweep from it (table4/table5 benchmarks)"
+        ),
+    )
 
 
 @pytest.fixture
@@ -47,6 +55,13 @@ def engine(request, capsys):
     if stats.tasks:
         with capsys.disabled():
             print(f"\n[engine] jobs={eng.jobs}\n{stats.render()}")
+
+
+@pytest.fixture
+def checkpoint(request):
+    """The --checkpoint journal path (or None): long sweeps pass it to
+    their runner so a killed run resumes where it died."""
+    return request.config.getoption("--checkpoint")
 
 
 @pytest.fixture

@@ -37,8 +37,13 @@ Subpackages:
 * :mod:`repro.gen` -- the Section VIII random generator and every
   worked example from the paper's figures.
 * :mod:`repro.soc` -- the COFDM UWB transmitter case study.
-* :mod:`repro.engine` -- the batch analysis engine: process-pool
-  fan-out, content-hash memoization, per-op observability.
+* :mod:`repro.engine` -- the self-healing batch analysis engine:
+  process-pool fan-out, content-hash memoization, per-op
+  observability, checksummed disk caching with quarantine, retry
+  with backoff, and checkpoint/resume journals.
+* :mod:`repro.faults` -- seeded fault injection (stall schedules,
+  void storms, stop glitches, relay jitter) with an invariant
+  harness and chaos campaigns across all three simulators.
 * :mod:`repro.experiments` -- shared experiment harness used by the
   ``benchmarks/`` suite.
 """
@@ -69,14 +74,23 @@ from .core import (
 from .analysis import Context, get_context
 from .engine import (
     AnalysisEngine,
+    Checkpoint,
     EngineStats,
     analyze_many,
+    run_checkpointed,
     solve_exact_portfolio,
+)
+from .faults import (
+    FaultSchedule,
+    FaultSpec,
+    build_schedule,
+    check_invariants,
+    run_campaign,
 )
 from .gen import GeneratorConfig, generate_lis
 from .lis import RtlSimulator, ShellBehavior, TraceSimulator, simulate_trace
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # The vectorized backend needs numpy, which is an optional dependency;
 # resolve its names lazily so `import repro` works without it.
@@ -95,9 +109,12 @@ __all__ = [
     "AnalysisEngine",
     "AnalysisReport",
     "BatchSimulator",
+    "Checkpoint",
     "Context",
     "EngineStats",
     "FastSimulator",
+    "FaultSchedule",
+    "FaultSpec",
     "GeneratorConfig",
     "LisGraph",
     "MarkedGraph",
@@ -113,6 +130,8 @@ __all__ = [
     "analyze",
     "analyze_many",
     "available_solvers",
+    "build_schedule",
+    "check_invariants",
     "classify_topology",
     "compile_td",
     "degradation_ratio",
@@ -124,6 +143,8 @@ __all__ = [
     "minimal_fixed_q",
     "mst",
     "register_solver",
+    "run_campaign",
+    "run_checkpointed",
     "simulate_fast",
     "simulate_trace",
     "size_queues",

@@ -12,7 +12,11 @@ Gives the library's analysis pipeline a shell-scriptable surface:
 * ``dot``      -- Graphviz rendering of the system or its doubled
   marked graph;
 * ``stats``    -- analysis-engine cache statistics for a ``--cache``
-  directory.
+  directory (including corrupt/quarantined entry counts);
+* ``chaos``    -- seeded fault-injection campaign through the
+  invariant harness (:mod:`repro.faults`), optionally with
+  engine-level chaos (killed/hung workers); exits non-zero on any
+  invariant violation.
 
 LIS descriptions use the JSON format of :mod:`repro.core.serialize`.
 """
@@ -86,6 +90,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=".repro-cache",
         metavar="DIR",
         help="cache directory to inspect (default: .repro-cache)",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection campaign (invariant harness)",
+    )
+    chaos.add_argument(
+        "--system",
+        default="fig15",
+        metavar="NAME|FILE",
+        help="fig15, cofdm, fig19, another example name, or a LIS JSON "
+        "file (default: fig15)",
+    )
+    chaos.add_argument(
+        "--schedules",
+        type=int,
+        default=20,
+        help="fault schedules to draw; each runs on every backend "
+        "(default: 20)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--backends",
+        default="trace,rtl,fast",
+        help="comma-separated simulator backends (default: all three)",
+    )
+    chaos.add_argument(
+        "--horizon",
+        type=int,
+        default=48,
+        help="clocks during which faults may fire (default: 48)",
+    )
+    chaos.add_argument(
+        "--measure",
+        type=int,
+        default=240,
+        help="post-recovery throughput window (default: 240)",
+    )
+    chaos.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan trials out over N worker processes",
+    )
+    chaos.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="analysis-engine result cache directory",
+    )
+    chaos.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="journal completed trials to FILE and resume from it",
+    )
+    chaos.add_argument(
+        "--engine-chaos",
+        action="store_true",
+        help="also run the executor drills: SIGKILL and hang a worker "
+        "mid-run and require full recovery",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report on stdout",
     )
 
     from .core.solvers import available_solvers
@@ -227,6 +295,13 @@ def _cmd_stats(args) -> int:
     print(f"cache:   {directory}")
     print(f"entries: {sum(entries.values())}")
     print(f"bytes:   {disk.total_bytes()}")
+    quarantined = disk.quarantined()
+    if quarantined:
+        print(
+            f"quarantined: {quarantined} corrupt entr"
+            f"{'y' if quarantined == 1 else 'ies'} "
+            f"(under {directory / DiskCache.QUARANTINE_DIR})"
+        )
     for op in sorted(entries):
         print(f"  {op:<22} {entries[op]}")
     stats = disk.read_stats()
@@ -261,7 +336,99 @@ def _cmd_stats(args) -> int:
             print("solver-kernel counters:")
             for key in sorted(solver):
                 print(f"  {key:<22} {solver[key]}")
+        healing = {
+            key: stats.get(key, 0)
+            for key in (
+                "retries",
+                "op_timeouts",
+                "pool_rebuilds",
+                "serial_fallbacks",
+                "failures",
+                "corrupt_entries",
+                "checkpoint_hits",
+            )
+            if stats.get(key)
+        }
+        if healing:
+            print("self-healing counters:")
+            for key, value in healing.items():
+                print(f"  {key:<22} {value}")
     return 0
+
+
+def _resolve_chaos_system(name: str):
+    """An example name, ``cofdm``/``fig19``, or a LIS JSON file path."""
+    if name in EXAMPLES:
+        return EXAMPLES[name]()
+    if name == "cofdm":
+        from .soc import cofdm_transmitter
+
+        return cofdm_transmitter()
+    if name == "fig19":
+        from .soc import fig19_scenario
+
+        return fig19_scenario()
+    return load_lis(name)
+
+
+def _cmd_chaos(args) -> int:
+    import json as _json
+
+    from .faults import BACKENDS, engine_chaos_drill, run_campaign
+
+    backends = tuple(
+        b.strip() for b in args.backends.split(",") if b.strip()
+    )
+    for backend in backends:
+        if backend not in BACKENDS:
+            known = ", ".join(BACKENDS)
+            print(
+                f"error: unknown backend {backend!r} (available: {known})",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        lis = _resolve_chaos_system(args.system)
+    except OSError as exc:
+        print(f"error: cannot load system: {exc}", file=sys.stderr)
+        return 2
+    report = run_campaign(
+        lis,
+        schedules=args.schedules,
+        backends=backends,
+        seed=args.seed,
+        horizon=args.horizon,
+        measure=args.measure,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        checkpoint=args.checkpoint,
+    )
+    drills = []
+    if args.engine_chaos:
+        drills.append(engine_chaos_drill(mode="kill", jobs=args.jobs or 2))
+        drills.append(
+            engine_chaos_drill(mode="hang", jobs=args.jobs or 2, op_timeout=10.0)
+        )
+    ok = report.ok and all(d["ok"] for d in drills)
+    if args.json:
+        payload = report.as_dict()
+        payload["system"] = args.system
+        if drills:
+            payload["engine_chaos"] = drills
+        payload["summary"]["ok"] = ok
+        print(_json.dumps(payload, sort_keys=True, default=str))
+    else:
+        print(f"system: {args.system}")
+        print(report.render())
+        for drill in drills:
+            verdict = "PASS" if drill["ok"] else "FAIL"
+            print(
+                f"  engine chaos ({drill['mode']}): {verdict} "
+                f"(rebuilds={drill['pool_rebuilds']}, "
+                f"retries={drill['retries']}, "
+                f"op_timeouts={drill['op_timeouts']})"
+            )
+    return 0 if ok else 1
 
 
 def _cmd_size(args) -> int:
@@ -486,6 +653,7 @@ _COMMANDS = {
     "example": _cmd_example,
     "dot": _cmd_dot,
     "stats": _cmd_stats,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -16,6 +16,7 @@ content-hash cache layers.
 """
 
 from .cache import DiskCache, LruCache, canonical_options, content_key
+from .checkpoint import Checkpoint, run_checkpointed, task_key
 from .core import AnalysisEngine, EngineStats, OpStats, analyze_many
 from .ops import available_ops, get_op, register_op, run_op
 from .portfolio import PORTFOLIO_NODE_LIMIT, solve_exact_portfolio
@@ -31,6 +32,9 @@ __all__ = [
     "run_op",
     "solve_exact_portfolio",
     "PORTFOLIO_NODE_LIMIT",
+    "Checkpoint",
+    "run_checkpointed",
+    "task_key",
     "DiskCache",
     "LruCache",
     "canonical_options",

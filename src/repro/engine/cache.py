@@ -13,6 +13,13 @@ Two layers:
 * :class:`DiskCache` -- optional pickle files under a cache directory,
   shared between runs and processes (written atomically via rename).
 
+Disk entries are *checksummed*: each file carries a format magic and
+the SHA-256 of its pickle payload, so a torn write, bit rot, or a
+stray truncation is detected on read.  A corrupt file is never
+silently re-read forever -- it is moved into a ``quarantine/`` subdir
+(for post-mortems) and counted in ``corrupt_entries``, which flows
+into ``stats.json`` and the ``repro stats`` report.
+
 The disk layer uses :mod:`pickle`: treat a cache directory like any
 other local build artifact and do not point the engine at an
 untrusted one.
@@ -94,34 +101,89 @@ class LruCache:
 
 class DiskCache:
     """Pickle-per-entry cache directory; file names carry the op name
-    so ``python -m repro stats`` can break usage down per operation."""
+    so ``python -m repro stats`` can break usage down per operation.
+
+    Entries are framed as ``MAGIC + sha256-hex + "\\n" + payload``;
+    :meth:`get` verifies the digest before unpickling and quarantines
+    anything that fails (see :meth:`_quarantine`).  Files written by
+    older versions (no magic) are still read as plain pickles.
+    """
 
     STATS_FILE = "stats.json"
+    QUARANTINE_DIR = "quarantine"
+    MAGIC = b"%REPRO-CACHE-1%\n"
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Corrupt entries detected (and quarantined) by this instance.
+        self.corrupt_entries = 0
 
     def _path(self, op: str, key: str) -> Path:
         return self.directory / f"{op}--{key}.pkl"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the lookup path so it is never
+        re-read (and re-failed) again, keeping the bytes for diagnosis."""
+        self.corrupt_entries += 1
+        target_dir = self.directory / self.QUARANTINE_DIR
+        try:
+            target_dir.mkdir(exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # Cross-device or permission trouble: fall back to removal;
+            # leaving the corrupt file in place would mask every future
+            # lookup of this key as a disk hit that always fails.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
     def get(self, op: str, key: str) -> Any:
-        """Unpickled entry; KeyError when absent or unreadable."""
+        """Unpickled entry; KeyError when absent.  A present-but-corrupt
+        file (bad frame, digest mismatch, truncated pickle) is counted
+        in ``corrupt_entries``, moved to ``quarantine/``, and reported
+        as a KeyError so the engine recomputes it."""
         path = self._path(op, key)
         try:
             with path.open("rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+                blob = fh.read()
+        except OSError:
+            raise KeyError(key) from None
+        payload = blob
+        if blob.startswith(self.MAGIC):
+            head = len(self.MAGIC)
+            digest_end = head + 64
+            stored = blob[head:digest_end]
+            payload = blob[digest_end + 1 :]
+            if (
+                blob[digest_end : digest_end + 1] != b"\n"
+                or hashlib.sha256(payload).hexdigest().encode() != stored
+            ):
+                self._quarantine(path)
+                raise KeyError(key) from None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            # Unpicklable payload: checksum mismatch already quarantined
+            # above; this path covers legacy (unframed) corruption and
+            # payloads whose classes no longer import.
+            self._quarantine(path)
             raise KeyError(key) from None
 
     def put(self, op: str, key: str, value: Any) -> None:
         path = self._path(op, key)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode()
         fd, tmp = tempfile.mkstemp(
             dir=self.directory, prefix=".tmp-", suffix=".pkl"
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(self.MAGIC)
+                fh.write(digest)
+                fh.write(b"\n")
+                fh.write(payload)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -129,6 +191,13 @@ class DiskCache:
             except OSError:
                 pass
             raise
+
+    def quarantined(self) -> int:
+        """Number of corrupt entries parked under ``quarantine/``."""
+        target_dir = self.directory / self.QUARANTINE_DIR
+        if not target_dir.is_dir():
+            return 0
+        return sum(1 for _ in target_dir.glob("*.pkl"))
 
     def entries(self) -> dict[str, int]:
         """Entry counts per op name."""
@@ -167,4 +236,19 @@ class DiskCache:
 
         merged = merge(self.read_stats(), update)
         path = self.directory / self.STATS_FILE
-        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+        text = json.dumps(merged, indent=2, sort_keys=True) + "\n"
+        # Atomic (write-temp-then-rename): a crash mid-write must not
+        # leave a truncated stats.json that read_stats then discards.
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

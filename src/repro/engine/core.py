@@ -15,7 +15,14 @@ flags, and the benchmarks.  It owns three concerns:
 * **observability** -- per-op timing, hit/miss/disk-hit counters and
   solver-call counts accumulate in :class:`EngineStats`, render as
   text, and persist into the cache directory for
-  ``python -m repro stats``.
+  ``python -m repro stats``;
+* **self-healing** -- hour-scale sweeps must survive infrastructure
+  faults, not just compute them: every pool op gets a wall-clock
+  timeout with bounded retry + exponential backoff, a broken process
+  pool (worker SIGKILLed, OOMed, segfaulted) is detected, rebuilt, and
+  the in-flight ops replayed, and an op that keeps breaking the pool
+  degrades to in-process serial execution rather than sinking the
+  batch.  Every recovery action is counted in :class:`EngineStats`.
 """
 
 from __future__ import annotations
@@ -24,6 +31,8 @@ import copy
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -47,6 +56,7 @@ class OpStats:
     coalesced: int = 0
     seconds: float = 0.0
     solver_calls: int = 0
+    failures: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -57,6 +67,7 @@ class OpStats:
             "coalesced": self.coalesced,
             "seconds": self.seconds,
             "solver_calls": self.solver_calls,
+            "failures": self.failures,
         }
 
 
@@ -76,6 +87,19 @@ class EngineStats:
     #: ``table_hits``, ``bound_cuts``, ``batch_checks``) from every op
     #: that ran a registry solver.
     solver: dict[str, int] = field(default_factory=dict)
+    #: Self-healing counters: ops replayed after a pool fault, per-op
+    #: wall-clock timeouts, pool teardown/rebuild events, ops that fell
+    #: back to in-process serial execution, ops that ultimately failed
+    #: (their exception is attached to the task outcome), corrupt disk
+    #: cache entries quarantined, and tasks served from a checkpoint
+    #: file instead of being recomputed.
+    retries: int = 0
+    op_timeouts: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    failures: int = 0
+    corrupt_entries: int = 0
+    checkpoint_hits: int = 0
 
     def op(self, name: str) -> OpStats:
         if name not in self.ops:
@@ -120,6 +144,13 @@ class EngineStats:
             "ops": {name: s.as_dict() for name, s in self.ops.items()},
             "context": dict(self.context),
             "solver": dict(self.solver),
+            "retries": self.retries,
+            "op_timeouts": self.op_timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallbacks": self.serial_fallbacks,
+            "failures": self.failures,
+            "corrupt_entries": self.corrupt_entries,
+            "checkpoint_hits": self.checkpoint_hits,
         }
 
     def render(self) -> str:
@@ -152,6 +183,20 @@ class EngineStats:
             lines.append(f"{'solver counter':<22}{'total':>9}")
             for key in sorted(self.solver):
                 lines.append(f"{key:<22}{self.solver[key]:>9}")
+        healing = {
+            "retries": self.retries,
+            "op timeouts": self.op_timeouts,
+            "pool rebuilds": self.pool_rebuilds,
+            "serial fallbacks": self.serial_fallbacks,
+            "failures": self.failures,
+            "corrupt entries": self.corrupt_entries,
+            "checkpoint hits": self.checkpoint_hits,
+        }
+        if any(healing.values()):
+            lines.append(
+                "self-healing: "
+                + "   ".join(f"{k}: {v}" for k, v in healing.items() if v)
+            )
         return "\n".join(lines)
 
 
@@ -159,8 +204,20 @@ def _default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+class _TaskFailure:
+    """Internal marker carried through the result list for a task whose
+    op raised (or exhausted its retries): the exception travels with
+    the task instead of aborting its siblings."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
 class AnalysisEngine:
-    """Parallel, cached executor of LIS analysis operations.
+    """Parallel, cached, self-healing executor of LIS analysis
+    operations.
 
     Args:
         jobs: Worker processes.  ``None``, 0 or 1 run everything in
@@ -168,6 +225,22 @@ class AnalysisEngine:
         cache_size: In-memory LRU capacity (entries; 0 disables).
         cache_dir: Optional on-disk cache directory, shared across
             engines and runs.
+        op_timeout: Optional wall-clock budget in seconds granted to
+            each pooled op (measured from when the engine starts
+            waiting on it, so a queued op is never charged for its
+            predecessors).  A timed-out op's worker is presumed wedged:
+            the pool is rebuilt and the op retried up to
+            ``max_retries`` times before a ``TimeoutError`` is attached
+            to its task.  ``None`` (default) waits forever.
+        max_retries: Replay budget per op for pool-level faults (worker
+            killed, pool broken, timeout) before giving up -- a pool
+            fault exhausting its retries degrades to one in-process
+            serial execution instead of failing.  Op-level exceptions
+            (the op itself raising) are deterministic and never
+            retried.
+        retry_backoff: Base of the exponential backoff slept between
+            replay rounds (``retry_backoff * 2**round`` seconds, capped
+            at 4s).
 
     Use as a context manager (or call :meth:`close`) so the worker
     pool is reaped and stats are persisted to the cache directory.
@@ -178,10 +251,16 @@ class AnalysisEngine:
         jobs: int | str | None = None,
         cache_size: int = 4096,
         cache_dir: str | os.PathLike | None = None,
+        op_timeout: float | None = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.25,
     ) -> None:
         if jobs == "auto":
             jobs = _default_jobs()
         self.jobs = max(1, int(jobs or 1))
+        self.op_timeout = op_timeout
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
         self.stats = EngineStats()
         self._memory = LruCache(cache_size)
         self._disk = DiskCache(cache_dir) if cache_dir else None
@@ -217,9 +296,25 @@ class AnalysisEngine:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
+    def _rebuild_pool(self) -> None:
+        """Tear the (presumed broken or wedged) pool down -- terminating
+        any worker that is still alive, e.g. one stuck in a timed-out op
+        -- so the next :meth:`_ensure_pool` starts fresh."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
+            pool.shutdown(wait=False, cancel_futures=True)
+        self.stats.pool_rebuilds += 1
+
     # -- the batch surface --------------------------------------------
 
-    def run(self, tasks: Sequence[tuple]) -> list:
+    def run(
+        self, tasks: Sequence[tuple], return_exceptions: bool = False
+    ) -> list:
         """Execute ``(op, lis, options)`` tasks; results in task order.
 
         ``lis`` may be a :class:`LisGraph`, an
@@ -227,9 +322,17 @@ class AnalysisEngine:
         computed, so serialization is free and in-process runs reuse
         the context's artifacts), or the canonical JSON text itself.
         Identical tasks inside one batch are computed once (coalesced);
-        cached results are served without touching the pool.  Worker
-        exceptions (e.g. :class:`ExactTimeout` from an exact op)
-        propagate to the caller.
+        cached results are served without touching the pool.
+
+        One task raising never discards its siblings: **every** task in
+        the batch is completed and every success is cached before
+        failures are reported.  With ``return_exceptions=False`` (the
+        default) the first failing task's exception -- in task order --
+        then propagates, exactly as the historical surface did (e.g.
+        :class:`ExactTimeout` from an exact op).  With
+        ``return_exceptions=True`` the exception object itself is
+        returned in that task's slot instead, preserving the
+        documented deterministic ordering.
         """
         t_start = time.perf_counter()
         self.stats.batches += 1
@@ -238,63 +341,80 @@ class AnalysisEngine:
         results: list = [None] * len(tasks)
         # key -> (op, lis_json, options, [indices])
         pending: dict[str, list] = {}
-        for i, task in enumerate(tasks):
-            op, lis, options = (*task, None)[:3]
-            t0 = time.perf_counter()
-            if isinstance(lis, str):
-                lis_json = lis
-            elif isinstance(lis, Context):
-                lis_json = lis.lis_json
-            else:
-                lis_json = lis_to_json(lis)
-            self.stats.serialize_seconds += time.perf_counter() - t0
-            key = content_key(op, lis_json, options)
-            per_op = self.stats.op(op)
-            per_op.calls += 1
-            if key in self._memory:
-                per_op.hits += 1
-                results[i] = copy.deepcopy(self._memory.get(key))
-                continue
-            if self._disk is not None:
-                try:
-                    value = self._disk.get(op, key)
-                except KeyError:
-                    pass
+        try:
+            for i, task in enumerate(tasks):
+                op, lis, options = (*task, None)[:3]
+                t0 = time.perf_counter()
+                if isinstance(lis, str):
+                    lis_json = lis
+                elif isinstance(lis, Context):
+                    lis_json = lis.lis_json
                 else:
-                    per_op.disk_hits += 1
-                    self._memory.put(key, value)
-                    results[i] = copy.deepcopy(value)
+                    lis_json = lis_to_json(lis)
+                self.stats.serialize_seconds += time.perf_counter() - t0
+                key = content_key(op, lis_json, options)
+                per_op = self.stats.op(op)
+                per_op.calls += 1
+                if key in self._memory:
+                    per_op.hits += 1
+                    results[i] = copy.deepcopy(self._memory.get(key))
                     continue
-            if key in pending:
-                per_op.coalesced += 1
-                pending[key][3].append(i)
-            else:
-                pending[key] = [op, lis_json, options, [i]]
+                if self._disk is not None:
+                    try:
+                        value = self._disk.get(op, key)
+                    except KeyError:
+                        pass
+                    else:
+                        per_op.disk_hits += 1
+                        self._memory.put(key, value)
+                        results[i] = copy.deepcopy(value)
+                        continue
+                if key in pending:
+                    per_op.coalesced += 1
+                    pending[key][3].append(i)
+                else:
+                    pending[key] = [op, lis_json, options, [i]]
 
-        if pending:
-            self._execute(pending, results)
-        self.stats.wall_seconds += time.perf_counter() - t_start
+            if pending:
+                self._execute(pending, results)
+        finally:
+            if self._disk is not None:
+                self.stats.corrupt_entries = self._disk.corrupt_entries
+            self.stats.wall_seconds += time.perf_counter() - t_start
+
+        first_error: BaseException | None = None
+        for i, value in enumerate(results):
+            if isinstance(value, _TaskFailure):
+                if first_error is None:
+                    first_error = value.error
+                results[i] = value.error
+        if first_error is not None and not return_exceptions:
+            raise first_error
         return results
 
     def _execute(self, pending: dict[str, list], results: list) -> None:
         items = list(pending.items())
         if self.jobs > 1 and len(items) > 1:
-            pool = self._ensure_pool()
-            futures = [
-                (key, op, indices, pool.submit(run_op, op, lis_json, options))
-                for key, (op, lis_json, options, indices) in items
-            ]
-            outcomes = [
-                (key, op, indices, future.result())
-                for key, op, indices, future in futures
-            ]
+            outcomes = self._execute_pool(
+                [
+                    (op, lis_json, options)
+                    for _, (op, lis_json, options, _) in items
+                ]
+            )
         else:
             outcomes = [
-                (key, op, indices, run_op(op, lis_json, options))
-                for key, (op, lis_json, options, indices) in items
+                self._run_local(op, lis_json, options)
+                for _, (op, lis_json, options, _) in items
             ]
-        for key, op, indices, (value, meta) in outcomes:
+        for (key, (op, _, _, indices)), outcome in zip(items, outcomes):
             per_op = self.stats.op(op)
+            if isinstance(outcome, _TaskFailure):
+                per_op.failures += 1
+                self.stats.failures += 1
+                for i in indices:
+                    results[i] = outcome
+                continue
+            value, meta = outcome
             per_op.misses += 1
             per_op.seconds += meta.get("elapsed", 0.0)
             per_op.solver_calls += meta.get("solver_calls", 0)
@@ -305,6 +425,89 @@ class AnalysisEngine:
                 self._disk.put(op, key, value)
             for i in indices:
                 results[i] = copy.deepcopy(value)
+
+    def _run_local(self, op: str, lis_json: str, options: dict | None):
+        """In-process execution; op-level exceptions become task
+        failures rather than aborting the batch."""
+        try:
+            return run_op(op, lis_json, options)
+        except Exception as exc:
+            return _TaskFailure(exc)
+
+    def _execute_pool(self, calls: list[tuple]) -> list:
+        """Fan ``calls`` out over the worker pool, healing pool-level
+        faults: a timed-out or broken-pool op is replayed (fresh pool)
+        up to ``max_retries`` times with exponential backoff; an op
+        that exhausts its replays on pool faults runs once in-process
+        (serial degradation).  Returns one ``(value, meta)`` or
+        :class:`_TaskFailure` per call, in call order."""
+        outcomes: list = [None] * len(calls)
+        attempts = [0] * len(calls)
+        todo = list(range(len(calls)))
+        round_no = 0
+        while todo:
+            pool = self._ensure_pool()
+            futures: dict[int, object] = {}
+            broken = False
+            try:
+                for i in todo:
+                    futures[i] = pool.submit(run_op, *calls[i])
+            except BrokenProcessPool:
+                broken = True
+            retry: list[int] = []
+
+            def fault(i: int, failure: _TaskFailure | None) -> None:
+                """Replay ``i`` if it has budget left; otherwise attach
+                ``failure``, or degrade to serial when the fault was
+                pool-level (failure is None)."""
+                attempts[i] += 1
+                if attempts[i] <= self.max_retries:
+                    retry.append(i)
+                elif failure is not None:
+                    outcomes[i] = failure
+                else:
+                    self.stats.serial_fallbacks += 1
+                    outcomes[i] = self._run_local(*calls[i])
+
+            for i in todo:
+                future = futures.get(i)
+                if future is None or (broken and not future.done()):
+                    # Never ran (or died with the pool): replay it.
+                    fault(i, None)
+                    continue
+                try:
+                    outcomes[i] = future.result(
+                        timeout=None if broken else self.op_timeout
+                    )
+                except _FutureTimeout:
+                    self.stats.op_timeouts += 1
+                    broken = True  # the worker is wedged; rebuild below
+                    fault(
+                        i,
+                        _TaskFailure(
+                            TimeoutError(
+                                f"op {calls[i][0]!r} exceeded "
+                                f"op_timeout={self.op_timeout}s "
+                                f"(attempt {attempts[i] + 1})"
+                            )
+                        ),
+                    )
+                except BrokenProcessPool:
+                    broken = True
+                    fault(i, None)
+                except Exception as exc:
+                    # The op itself raised: deterministic, not retried.
+                    outcomes[i] = _TaskFailure(exc)
+            if broken:
+                self._rebuild_pool()
+            todo = retry
+            if todo:
+                self.stats.retries += len(todo)
+                delay = self.retry_backoff * (2**round_no)
+                round_no += 1
+                if delay > 0:
+                    time.sleep(min(delay, 4.0))
+        return outcomes
 
     def map(
         self,

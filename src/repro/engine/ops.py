@@ -328,6 +328,73 @@ def _op_simulate_batch(ctx: Context, options: dict):
     return out, meta
 
 
+def _op_fault_trial(ctx: Context, options: dict):
+    """One fault-injection trial: build the schedule from serialized
+    specs, run the invariant harness on the requested backend, and
+    return the JSON-able report (:mod:`repro.faults`).
+
+    Options: ``specs`` (list of :meth:`FaultSpec.as_dict` dicts,
+    required), ``backend`` (default ``"trace"``), ``seed`` (behavior
+    seed, default 0), ``extra_tokens`` ({channel id: extra}),
+    ``measure``, ``settle``, ``epsilon`` (Fraction string),
+    ``min_items``.
+    """
+    from ..faults import FaultSpec, check_invariants
+
+    specs = [FaultSpec.from_dict(d) for d in options["specs"]]
+    kwargs: dict = {
+        "backend": options.get("backend", "trace"),
+        "seed": int(options.get("seed", 0)),
+    }
+    if options.get("extra_tokens") is not None:
+        kwargs["extra_tokens"] = {
+            int(c): int(x) for c, x in options["extra_tokens"].items()
+        }
+    if options.get("measure") is not None:
+        kwargs["measure"] = int(options["measure"])
+    if options.get("settle") is not None:
+        kwargs["settle"] = int(options["settle"])
+    if options.get("epsilon") is not None:
+        kwargs["epsilon"] = Fraction(options["epsilon"])
+    if options.get("min_items") is not None:
+        kwargs["min_items"] = int(options["min_items"])
+    report = check_invariants(ctx, specs, **kwargs)
+    return report.as_dict(), {
+        "solver_calls": 0,
+        "simulated_cycles": 2 * report.clocks,
+    }
+
+
+def _op_chaos_probe(ctx: Context, options: dict):
+    """Engine-level chaos: deliberately misbehave inside a worker.
+
+    First run with a given ``sentinel`` path: create the sentinel and
+    SIGKILL our own process (or sleep past the op timeout when
+    ``mode="hang"``), so the pool breaks mid-result.  The engine's
+    replay then re-runs the op, finds the sentinel, and returns
+    normally -- proving the rebuild + retry path end to end.  The
+    ``salt`` option only differentiates cache keys between drills.
+    """
+    import os
+    import signal
+
+    sentinel = options.get("sentinel")
+    mode = options.get("mode", "kill")
+    if sentinel and not os.path.exists(sentinel):
+        fd = os.open(sentinel, os.O_CREAT | os.O_WRONLY, 0o644)
+        os.close(fd)
+        if mode == "hang":
+            time.sleep(float(options.get("sleep", 3600.0)))
+        else:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return {
+        "survived": True,
+        "pid": os.getpid(),
+        "salt": options.get("salt"),
+        "fingerprint": ctx.fingerprint,
+    }, {"solver_calls": 0}
+
+
 register_op("ideal_mst", _op_ideal_mst)
 register_op("actual_mst", _op_actual_mst)
 register_op("mst_sweep", _op_mst_sweep)
@@ -337,3 +404,5 @@ register_op("table4_trial", _op_table4_trial)
 register_op("td_probe", _op_td_probe)
 register_op("exhaustive_placement", _op_exhaustive_placement)
 register_op("simulate_batch", _op_simulate_batch)
+register_op("fault_trial", _op_fault_trial)
+register_op("chaos_probe", _op_chaos_probe)

@@ -41,6 +41,16 @@ def _engine_for(engine, jobs, cache_dir):
         yield local
 
 
+def _run_tasks(eng, tasks, checkpoint, chunk):
+    """``eng.run`` with an optional completion journal, so a killed
+    runner resumes where it died (see :mod:`repro.engine.checkpoint`)."""
+    if checkpoint is not None:
+        from ..engine import run_checkpointed
+
+        return run_checkpointed(eng, tasks, checkpoint, chunk=chunk)
+    return eng.run(tasks)
+
+
 def fig16_mst_degradation(
     rs_values: list[int],
     queues: list[int],
@@ -53,12 +63,15 @@ def fig16_mst_degradation(
     jobs: int | str | None = None,
     cache_dir=None,
     engine: AnalysisEngine | None = None,
+    checkpoint=None,
+    checkpoint_chunk: int = 16,
 ) -> dict[tuple[str, str], list[float]]:
     """Fig. 16: average MST vs relay-station count.
 
     Returns ``{(policy, queue_label): [avg MST per rs value]}`` where
     ``queue_label`` is ``"inf"`` for the ideal system (infinite queues,
     no backpressure) or ``str(q)`` for finite uniform queues.
+    ``checkpoint`` journals completed sweeps for crash resume.
     """
     grid = [
         (policy, rs, trial)
@@ -79,7 +92,7 @@ def fig16_mst_degradation(
         )
         tasks.append(("mst_sweep", generate_lis(cfg), {"queues": queues}))
     with _engine_for(engine, jobs, cache_dir) as eng:
-        sweeps = eng.run(tasks)
+        sweeps = _run_tasks(eng, tasks, checkpoint, checkpoint_chunk)
 
     labels = ["inf"] + [str(q) for q in queues]
     series: dict[tuple[str, str], list[float]] = {
@@ -109,6 +122,8 @@ def fig17_fixed_queue_recovery(
     jobs: int | str | None = None,
     cache_dir=None,
     engine: AnalysisEngine | None = None,
+    checkpoint=None,
+    checkpoint_chunk: int = 16,
 ) -> dict[int, float]:
     """Fig. 17: average actual/ideal MST ratio vs uniform queue size,
     for scc-policy relay insertion (ideal MST is 1 there)."""
@@ -120,7 +135,7 @@ def fig17_fixed_queue_recovery(
         )
         tasks.append(("mst_sweep", generate_lis(cfg), {"queues": q_values}))
     with _engine_for(engine, jobs, cache_dir) as eng:
-        sweeps = eng.run(tasks)
+        sweeps = _run_tasks(eng, tasks, checkpoint, checkpoint_chunk)
     totals = {q: 0.0 for q in q_values}
     for sweep in sweeps:
         ideal = sweep["inf"]
@@ -200,6 +215,8 @@ def table4_exact_vs_heuristic(
     jobs: int | str | None = None,
     cache_dir=None,
     engine: AnalysisEngine | None = None,
+    checkpoint=None,
+    checkpoint_chunk: int = 16,
 ) -> list[Table4Row]:
     """Table IV: exact vs heuristic queue sizing on DAG-of-SCC systems
     with inter-SCC relay stations, solved after the SCC collapse.
@@ -229,7 +246,7 @@ def table4_exact_vs_heuristic(
             )
         )
     with _engine_for(engine, jobs, cache_dir) as eng:
-        outcomes = eng.run(tasks)
+        outcomes = _run_tasks(eng, tasks, checkpoint, checkpoint_chunk)
 
     rows = [
         Table4Row(v=v, s=s, c=c, rs=rs, trials=trials)

@@ -9,17 +9,38 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from fractions import Fraction
 from pathlib import Path
 from typing import Any, Iterable
 
 __all__ = [
+    "atomic_write_text",
     "format_cell",
     "render_table",
     "results_dir",
     "save_result",
     "save_result_json",
 ]
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename), so a
+    crash mid-write never leaves a truncated result file behind and
+    concurrent readers see either the old content or the new."""
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def format_cell(value: Any) -> str:
@@ -74,7 +95,7 @@ def results_dir() -> Path:
 def save_result(name: str, text: str) -> Path:
     """Persist a rendered table under ``benchmarks/results/<name>.txt``."""
     path = results_dir() / f"{name}.txt"
-    path.write_text(text + "\n")
+    atomic_write_text(path, text + "\n")
     return path
 
 
@@ -99,5 +120,5 @@ def save_result_json(name: str, data: dict | None = None) -> str:
         payload.update(data)
     line = json.dumps(payload, sort_keys=True, default=_json_default)
     path = results_dir() / f"{name}.json"
-    path.write_text(line + "\n")
+    atomic_write_text(path, line + "\n")
     return line

@@ -1,0 +1,412 @@
+"""Composable, seeded fault models for latency-insensitive systems.
+
+The theory (paper Sections III/V) says a LIS is *functionally robust
+by construction*: any pattern of stalls may slow the system down but
+can never change the valid value stream, lose or duplicate a token, or
+overflow a correctly sized queue.  This module turns "any pattern of
+stalls" into concrete, reproducible attack schedules.
+
+Every fault kind reduces to the same primitive -- "node ``n`` may not
+fire at clock ``t``" -- which is exactly a clock-gate and therefore
+always protocol-legal (it is how the shell itself behaves when an
+input is void or a ``stop`` is asserted).  The kinds differ in *which*
+nodes they target and *how* the stall clocks are drawn:
+
+============================ ==========================================
+kind                         interpretation
+============================ ==========================================
+``stall-random``             i.i.d. stalls on every structural node
+``stall-bursty``             periodic stall bursts with random phases
+``stall-adversarial``        coordinated blackouts on the critical
+                             cycle (the schedule that actually probes
+                             the queue-sizing bound)
+``void-storm``               long windows where source shells receive
+                             no valid input from the environment
+``stop-glitch``              single-cycle ``stop`` assertions at sink
+                             shells (the consumer hiccups)
+``relay-jitter``             random extra latency at relay stations
+============================ ==========================================
+
+A :class:`FaultSpec` is a frozen, JSON-able description; compiling one
+or more against a concrete system yields a :class:`FaultSchedule`
+whose :meth:`~FaultSchedule.gate` plugs into all three simulators
+(``TraceSimulator``/``RtlSimulator`` ``faults=`` and ``FastSimulator``)
+and whose :meth:`~FaultSchedule.mask` feeds the vectorized kernel
+directly.  Schedules are finite (``horizon`` clocks): after the last
+injected stall the system must recover, which is what makes the
+invariant harness's throughput check decidable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
+
+from ..core.lis_graph import LisGraph, relay_name, stage_name
+from ..lis.protocol import ShellBehavior
+
+if TYPE_CHECKING:
+    from ..sim.compile import CompiledSystem
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultSchedule",
+    "build_schedule",
+    "structural_nodes",
+    "default_behaviors",
+    "random_stalls",
+    "bursty_stalls",
+    "adversarial_stalls",
+    "void_storm",
+    "stop_glitches",
+    "relay_jitter",
+]
+
+FAULT_KINDS = (
+    "stall-random",
+    "stall-bursty",
+    "stall-adversarial",
+    "void-storm",
+    "stop-glitch",
+    "relay-jitter",
+)
+
+#: Modulus of the default arithmetic behaviours: large enough that
+#: colliding values are implausible, small enough to stay in machine
+#: ints.
+PRIME = 1_000_003
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One seeded fault component (see module table for the kinds).
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        seed: RNG seed; two specs differing only in seed draw
+            independent schedules.
+        horizon: Clocks ``[0, horizon)`` during which faults may be
+            injected; the schedule is quiet afterwards.
+        density: Stall probability per (node, clock) for the random
+            kinds, intensity knob for the windowed kinds.
+        burst: Stall-burst / blackout / storm length in clocks.
+        gap: Fault-free clocks between bursts (``stall-bursty``).
+        nodes: Optional explicit target nodes, matched against
+            ``str(node)`` and ``repr(node)`` -- overrides the kind's
+            default target set (so specs survive JSON round trips
+            where tuple node names become strings).
+    """
+
+    kind: str
+    seed: int = 0
+    horizon: int = 48
+    density: float = 0.2
+    burst: int = 4
+    gap: int = 8
+    nodes: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (available: {known})"
+            )
+        if self.horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        if not 0.0 <= self.density <= 1.0:
+            raise ValueError("density must be within [0, 1]")
+        if self.burst < 1 or self.gap < 0:
+            raise ValueError("burst must be >= 1 and gap >= 0")
+
+    def as_dict(self) -> dict:
+        out = {
+            "kind": self.kind,
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "density": self.density,
+            "burst": self.burst,
+            "gap": self.gap,
+        }
+        if self.nodes is not None:
+            out["nodes"] = list(self.nodes)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultSpec":
+        nodes = data.get("nodes")
+        return cls(
+            kind=str(data["kind"]),
+            seed=int(data.get("seed", 0)),
+            horizon=int(data.get("horizon", 48)),
+            density=float(data.get("density", 0.2)),
+            burst=int(data.get("burst", 4)),
+            gap=int(data.get("gap", 8)),
+            nodes=None if nodes is None else tuple(str(n) for n in nodes),
+        )
+
+
+def random_stalls(seed: int = 0, horizon: int = 48, density: float = 0.2) -> FaultSpec:
+    """I.i.d. per-(node, clock) stalls on every structural node."""
+    return FaultSpec("stall-random", seed=seed, horizon=horizon, density=density)
+
+
+def bursty_stalls(
+    seed: int = 0, horizon: int = 48, burst: int = 4, gap: int = 8
+) -> FaultSpec:
+    """Periodic stall bursts with a random phase per node."""
+    return FaultSpec("stall-bursty", seed=seed, horizon=horizon, burst=burst, gap=gap)
+
+
+def adversarial_stalls(
+    seed: int = 0, horizon: int = 48, density: float = 0.3, burst: int = 6
+) -> FaultSpec:
+    """Coordinated blackouts concentrated on the critical cycle."""
+    return FaultSpec(
+        "stall-adversarial", seed=seed, horizon=horizon, density=density, burst=burst
+    )
+
+
+def void_storm(seed: int = 0, horizon: int = 48, burst: int = 8, density: float = 0.3) -> FaultSpec:
+    """Long windows of void input at the source shells."""
+    return FaultSpec("void-storm", seed=seed, horizon=horizon, burst=burst, density=density)
+
+
+def stop_glitches(seed: int = 0, horizon: int = 48, density: float = 0.15) -> FaultSpec:
+    """Single-cycle stop assertions at the sink shells."""
+    return FaultSpec("stop-glitch", seed=seed, horizon=horizon, density=density)
+
+
+def relay_jitter(seed: int = 0, horizon: int = 48, density: float = 0.25) -> FaultSpec:
+    """Random extra forwarding latency at relay stations."""
+    return FaultSpec("relay-jitter", seed=seed, horizon=horizon, density=density)
+
+
+def structural_nodes(lis: LisGraph) -> list[Hashable]:
+    """Every node of the practical LIS under the uniform naming shared
+    by all three simulator backends: shells, internal pipeline stages
+    (``("stage", shell, i)``), and relay stations (``("rs", cid, i)``),
+    sorted by repr for deterministic RNG consumption."""
+    nodes: list[Hashable] = []
+    for shell in lis.shells():
+        nodes.append(shell)
+        for i in range(lis.latency(shell) - 1):
+            nodes.append(stage_name(shell, i))
+    for channel in lis.channels():
+        for i in range(channel.data["relays"]):
+            nodes.append(relay_name(channel.key, i))
+    return sorted(nodes, key=repr)
+
+
+def _rng(spec: FaultSpec, salt: str = "") -> random.Random:
+    return random.Random(f"repro-faults:{spec.kind}:{spec.seed}:{salt}")
+
+
+def _targets(lis: LisGraph, spec: FaultSpec) -> list[Hashable]:
+    """The node set a spec attacks (see the module table)."""
+    nodes = structural_nodes(lis)
+    if spec.nodes is not None:
+        wanted = set(spec.nodes)
+        return [
+            n for n in nodes if str(n) in wanted or repr(n) in wanted
+        ]
+    if spec.kind in ("stall-random", "stall-bursty"):
+        return nodes
+    if spec.kind == "stall-adversarial":
+        from ..core.throughput import actual_mst
+
+        result = actual_mst(lis)
+        if result.critical:
+            crit = {e.src for e in result.critical} | {
+                e.dst for e in result.critical
+            }
+            chosen = [n for n in nodes if n in crit]
+            if chosen:
+                return chosen
+        return nodes
+    if spec.kind == "void-storm":
+        shells = list(lis.shells())
+        sources = [s for s in shells if not list(lis.system.in_edges(s))]
+        return sorted(sources or shells, key=repr)
+    if spec.kind == "stop-glitch":
+        shells = list(lis.shells())
+        sinks = [s for s in shells if not list(lis.system.out_edges(s))]
+        return sorted(sinks or shells, key=repr)
+    # relay-jitter
+    return [
+        n
+        for n in nodes
+        if isinstance(n, tuple) and len(n) == 3 and n[0] == "rs"
+    ]
+
+
+def _component_stalls(
+    lis: LisGraph, spec: FaultSpec
+) -> dict[Hashable, set[int]]:
+    """The stall clocks one spec injects, per target node."""
+    targets = _targets(lis, spec)
+    horizon = spec.horizon
+    stalls: dict[Hashable, set[int]] = {}
+    if not targets or horizon == 0:
+        return stalls
+    if spec.kind in ("stall-random", "relay-jitter", "stop-glitch"):
+        for node in targets:
+            rng = _rng(spec, repr(node))
+            clocks = {
+                t for t in range(horizon) if rng.random() < spec.density
+            }
+            if clocks:
+                stalls[node] = clocks
+    elif spec.kind == "stall-bursty":
+        period = spec.burst + spec.gap
+        for node in targets:
+            rng = _rng(spec, repr(node))
+            phase = rng.randrange(period)
+            clocks = {
+                t for t in range(horizon) if (t + phase) % period < spec.burst
+            }
+            if clocks:
+                stalls[node] = clocks
+    elif spec.kind == "void-storm":
+        # A few long storms per source, storm count scaled by density.
+        storms = max(1, round(spec.density * 6))
+        for node in targets:
+            rng = _rng(spec, repr(node))
+            clocks: set[int] = set()
+            for _ in range(storms):
+                start = rng.randrange(horizon)
+                length = rng.randint(
+                    spec.burst, max(spec.burst, horizon // 3)
+                )
+                clocks.update(range(start, min(horizon, start + length)))
+            if clocks:
+                stalls[node] = clocks
+    else:  # stall-adversarial
+        # One blackout window hitting the whole critical cycle at once,
+        # plus concentrated random stalls on the same nodes.
+        rng = _rng(spec, "blackout")
+        start = rng.randrange(max(1, horizon - spec.burst + 1))
+        blackout = set(range(start, min(horizon, start + spec.burst)))
+        boosted = min(1.0, 2.0 * spec.density)
+        for node in targets:
+            node_rng = _rng(spec, repr(node))
+            clocks = set(blackout)
+            clocks.update(
+                t for t in range(horizon) if node_rng.random() < boosted
+            )
+            if clocks:
+                stalls[node] = clocks
+    return stalls
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """One or more compiled fault specs: per-node stall clock sets.
+
+    Build with :func:`build_schedule`; inject with :meth:`gate`
+    (callable backends) or :meth:`mask` (vectorized kernel).
+    """
+
+    specs: tuple[FaultSpec, ...]
+    stalls: Mapping[Hashable, frozenset[int]]
+    horizon: int
+
+    def stalled(self, node: Hashable, clock: int) -> bool:
+        """True when ``node`` must be clock-gated at ``clock``."""
+        if clock >= self.horizon:
+            return False
+        clocks = self.stalls.get(node)
+        return clocks is not None and clock in clocks
+
+    def gate(self):
+        """The fault gate for the reference simulators (``faults=``)."""
+        return self.stalled
+
+    def mask(self, compiled: "CompiledSystem", clocks: int):
+        """A ``(clocks, n_nodes)`` boolean stall mask for
+        :func:`repro.sim.kernel.step_batch` / ``BatchSimulator.run``."""
+        import numpy as np
+
+        out = np.zeros((clocks, compiled.n_nodes), dtype=bool)
+        index = compiled.node_index
+        for node, stall_clocks in self.stalls.items():
+            i = index.get(node)
+            if i is None:
+                continue
+            for t in stall_clocks:
+                if t < clocks:
+                    out[t, i] = True
+        return out
+
+    @property
+    def total_stalls(self) -> int:
+        return sum(len(clocks) for clocks in self.stalls.values())
+
+    def as_dicts(self) -> list[dict]:
+        """The generating specs, JSON-able (for engine options)."""
+        return [spec.as_dict() for spec in self.specs]
+
+
+def build_schedule(
+    lis: LisGraph,
+    specs: FaultSpec | Iterable[FaultSpec],
+) -> FaultSchedule:
+    """Compile fault specs against a concrete system (or
+    :class:`repro.analysis.Context`): the union of every component's
+    stalls.  Deterministic in (system, specs)."""
+    if isinstance(specs, FaultSpec):
+        specs = (specs,)
+    specs = tuple(specs)
+    merged: dict[Hashable, set[int]] = {}
+    for spec in specs:
+        for node, clocks in _component_stalls(lis, spec).items():
+            merged.setdefault(node, set()).update(clocks)
+    horizon = max((spec.horizon for spec in specs), default=0)
+    return FaultSchedule(
+        specs=specs,
+        stalls={node: frozenset(c) for node, c in merged.items()},
+        horizon=horizon,
+    )
+
+
+def default_behaviors(
+    lis: LisGraph, seed: int = 0
+) -> dict[Hashable, ShellBehavior]:
+    """Seeded scalar-arithmetic behaviours for every shell: sources
+    count in seeded strides, interior shells apply a seeded affine map
+    to the sum of their inputs, all mod :data:`PRIME`.
+
+    Unlike the default pass-through behaviour (which nests tuples
+    exponentially around cycles), these keep values small and
+    distinct, so stream comparisons in the invariant harness are both
+    cheap and discriminating.  Behaviours are stateful (sources count)
+    -- build a fresh dict per simulation run.
+    """
+    rng = random.Random(f"repro-faults:behaviors:{seed}")
+    out: dict[Hashable, ShellBehavior] = {}
+    for shell in sorted(lis.shells(), key=repr):
+        in_degree = len(list(lis.system.in_edges(shell)))
+        start = rng.randrange(PRIME)
+        if in_degree == 0:
+            step = rng.randrange(1, 9973)
+            state = {"next": (start + step) % PRIME}
+
+            def source_fn(_inputs, _state=state, _step=step):
+                value = _state["next"]
+                _state["next"] = (value + _step) % PRIME
+                return value
+
+            out[shell] = ShellBehavior(initial=start, fn=source_fn)
+        else:
+            a = rng.randrange(1, PRIME)
+            b = rng.randrange(PRIME)
+
+            def core_fn(inputs, _a=a, _b=b):
+                total = sum(
+                    v for v in inputs.values() if isinstance(v, int)
+                )
+                return (total * _a + _b) % PRIME
+
+            out[shell] = ShellBehavior(initial=start, fn=core_fn)
+    return out

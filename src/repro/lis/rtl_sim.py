@@ -46,6 +46,12 @@ __all__ = [
 #: A firing gate: (clock, firing_index) -> may the shell fire this cycle?
 Gate = Callable[[int, int], bool]
 
+#: A fault gate: (node, clock) -> must the node stall this cycle?
+#: Unlike environment ``gates`` (shells only), a fault gate addresses
+#: every structural node: shells, relay stations (``("rs", cid, i)``)
+#: and pipeline stages (``("stage", shell, i)``).
+FaultGate = Callable[[Hashable, int], bool]
+
 _RESET = object()  # placeholder occupying shell queues at reset
 
 
@@ -202,6 +208,10 @@ class RtlSimulator:
         extra_tokens: Optional queue-sizing solution; adds slots to the
             consumer shells' queues.
         gates: Optional ``{shell name: Gate}`` environment model.
+        faults: Optional fault gate ``(node, clock) -> bool``; any node
+            for which it returns True is clock-gated that cycle (see
+            :mod:`repro.faults`).  Stalling is protocol-legal, so every
+            fault schedule yields a valid LIS execution.
     """
 
     def __init__(
@@ -210,8 +220,10 @@ class RtlSimulator:
         behaviors: Mapping[Hashable, ShellBehavior] | None = None,
         extra_tokens: dict[int, int] | None = None,
         gates: Mapping[Hashable, Gate] | None = None,
+        faults: FaultGate | None = None,
     ) -> None:
         self.lis = lis
+        self._faults = faults
         behaviors = dict(behaviors or {})
         gates = dict(gates or {})
         extra = dict(extra_tokens or {})
@@ -305,6 +317,12 @@ class RtlSimulator:
             name: node.can_fire(self.clock)
             for name, node in self.nodes.items()
         }
+        if self._faults is not None:
+            gate = self._faults
+            clock = self.clock
+            for name in firing:
+                if firing[name] and gate(name, clock):
+                    firing[name] = False
         consumed = {
             name: self.nodes[name].consume()
             for name, fired in firing.items()
@@ -354,6 +372,9 @@ def simulate_rtl(
     behaviors: Mapping[Hashable, ShellBehavior] | None = None,
     extra_tokens: dict[int, int] | None = None,
     gates: Mapping[Hashable, Gate] | None = None,
+    faults: FaultGate | None = None,
 ) -> Trace:
     """Convenience wrapper: build an :class:`RtlSimulator` and run it."""
-    return RtlSimulator(lis, behaviors, extra_tokens, gates).run(clocks)
+    return RtlSimulator(lis, behaviors, extra_tokens, gates, faults).run(
+        clocks
+    )

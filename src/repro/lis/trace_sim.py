@@ -26,12 +26,17 @@ throughput converges to the computed MST.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Hashable, Mapping
+from typing import Any, Callable, Hashable, Mapping
 
 from ..core.lis_graph import LisGraph
 from .protocol import TAU, ShellBehavior, Trace
 
 __all__ = ["TraceSimulator", "simulate_trace"]
+
+#: A fault gate: (node, clock) -> must the node stall this cycle?
+#: Stalling a transition is always protocol-legal (it is exactly a
+#: clock-gate), so any gate yields a valid LIS execution.
+FaultGate = Callable[[Hashable, int], bool]
 
 _INIT = object()  # placeholder value carried by initial tokens
 
@@ -54,6 +59,9 @@ class TraceSimulator:
             queues, no backpressure.  Its :meth:`max_queue_occupancy`
             then reports the true buffering demand of the ideal
             execution (unbounded for rate-mismatched compositions).
+        faults: Optional fault gate ``(node, clock) -> bool``; a node
+            for which it returns True is clock-gated that cycle even
+            when its marking enables it (see :mod:`repro.faults`).
     """
 
     def __init__(
@@ -62,9 +70,12 @@ class TraceSimulator:
         behaviors: Mapping[Hashable, ShellBehavior] | None = None,
         extra_tokens: dict[int, int] | None = None,
         bounded: bool = True,
+        faults: FaultGate | None = None,
     ) -> None:
         self.lis = lis
         self.behaviors = dict(behaviors or {})
+        self._faults = faults
+        self.clock = 0
         if bounded:
             self.mg = lis.doubled_marked_graph(extra_tokens)
         else:
@@ -136,6 +147,10 @@ class TraceSimulator:
         """One clock period; returns the set of nodes that fired."""
         graph = self.mg.graph
         fired = set(self.mg.enabled_transitions())
+        if self._faults is not None:
+            gate = self._faults
+            clock = self.clock
+            fired = {node for node in fired if not gate(node, clock)}
 
         # Consume: pop data values and backedge tokens.
         consumed: dict[Hashable, dict[int, Any]] = {}
@@ -186,6 +201,7 @@ class TraceSimulator:
             else:
                 self.trace.record(node, TAU, False)
         self.trace.clocks += 1
+        self.clock += 1
         return fired
 
     def run(self, clocks: int) -> Trace:
@@ -215,6 +231,9 @@ def simulate_trace(
     clocks: int,
     behaviors: Mapping[Hashable, ShellBehavior] | None = None,
     extra_tokens: dict[int, int] | None = None,
+    faults: FaultGate | None = None,
 ) -> Trace:
     """Convenience wrapper: build a :class:`TraceSimulator` and run it."""
-    return TraceSimulator(lis, behaviors, extra_tokens).run(clocks)
+    return TraceSimulator(lis, behaviors, extra_tokens, faults=faults).run(
+        clocks
+    )

@@ -131,15 +131,33 @@ class BatchSimulator:
         return len(self.assignments)
 
     def run(
-        self, clocks: int, warmup: int = 0, record: bool = False
+        self,
+        clocks: int,
+        warmup: int = 0,
+        record: bool = False,
+        stall_mask: np.ndarray | None = None,
     ) -> BatchRunResult:
         """Advance every configuration ``clocks`` cycles; firing counts
-        are accumulated after the first ``warmup`` cycles."""
+        are accumulated after the first ``warmup`` cycles.
+
+        ``stall_mask`` is an optional ``(clocks, n_nodes)`` boolean
+        fault schedule (True = clock-gate that node on that step; see
+        :mod:`repro.faults`), applied identically to every
+        configuration in the batch.
+        """
         if clocks <= 0:
             raise ValueError("clocks must be positive")
         if not 0 <= warmup < clocks:
             raise ValueError("warmup must satisfy 0 <= warmup < clocks")
         compiled = self.compiled
+        if stall_mask is not None:
+            stall_mask = np.asarray(stall_mask, dtype=bool)
+            if stall_mask.shape != (clocks, compiled.n_nodes):
+                raise ValueError(
+                    "stall_mask must have shape (clocks, n_nodes) = "
+                    f"({clocks}, {compiled.n_nodes}), got "
+                    f"{stall_mask.shape}"
+                )
         tokens = compiled.initial_tokens(self.assignments)
         counts = np.zeros(
             (len(self.assignments), compiled.n_nodes), dtype=tokens.dtype
@@ -161,6 +179,7 @@ class BatchSimulator:
             count_from=warmup,
             occupancy=occupancy,
             history=history,
+            stall_mask=stall_mask,
         )
         return BatchRunResult(
             compiled,
@@ -185,6 +204,7 @@ class FastSimulator:
         lis: LisGraph,
         behaviors: Mapping[Hashable, ShellBehavior] | None = None,
         extra_tokens: dict[int, int] | None = None,
+        faults=None,
     ) -> None:
         self.lis = lis
         self.compiled = compile_lis(lis)
@@ -194,11 +214,29 @@ class FastSimulator:
         self._tokens = self.compiled.initial_tokens([extra])
         self._occupancy = self._tokens[:, self.compiled.occ_cols].copy()
         self._replayer = TraceReplayer(self.compiled, behaviors)
+        #: Optional fault gate ``(node, clock) -> bool`` with the same
+        #: semantics as the reference simulators; materialized into a
+        #: per-chunk stall mask at absolute clock offsets.
+        self._faults = faults
         self.clocks = 0
 
     @property
     def trace(self) -> Trace:
         return self._replayer.trace
+
+    def _stall_chunk(self, clocks: int) -> np.ndarray | None:
+        if self._faults is None:
+            return None
+        gate = self._faults
+        names = self.compiled.node_names
+        start = self.clocks
+        mask = np.zeros((clocks, self.compiled.n_nodes), dtype=bool)
+        for t in range(clocks):
+            clock = start + t
+            for i, name in enumerate(names):
+                if gate(name, clock):
+                    mask[t, i] = True
+        return mask
 
     def run(self, clocks: int) -> Trace:
         if clocks <= 0:
@@ -212,6 +250,7 @@ class FastSimulator:
             clocks,
             occupancy=self._occupancy,
             history=history,
+            stall_mask=self._stall_chunk(clocks),
         )
         self._replayer.extend(history[:, 0, :])
         self.clocks += clocks
@@ -234,6 +273,9 @@ def simulate_fast(
     clocks: int,
     behaviors: Mapping[Hashable, ShellBehavior] | None = None,
     extra_tokens: dict[int, int] | None = None,
+    faults=None,
 ) -> Trace:
     """Convenience wrapper: build a :class:`FastSimulator` and run it."""
-    return FastSimulator(lis, behaviors, extra_tokens).run(clocks)
+    return FastSimulator(lis, behaviors, extra_tokens, faults=faults).run(
+        clocks
+    )

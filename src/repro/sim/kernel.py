@@ -38,6 +38,8 @@ def step_batch(
     occupancy: np.ndarray | None = None,
     history: np.ndarray | None = None,
     history_offset: int = 0,
+    stall_mask: np.ndarray | None = None,
+    stall_offset: int = 0,
 ) -> None:
     """Advance ``tokens`` (shape (B, P), mutated in place) by ``clocks``
     synchronous steps.
@@ -49,6 +51,13 @@ def step_batch(
             callers seed it with the initial marking of those columns.
         history: (T, B, N) boolean firing record, written starting at
             ``history_offset``.
+        stall_mask: (T, N) boolean fault schedule (see
+            :mod:`repro.faults`): a True entry clock-gates that node on
+            that step even when its marking enables it, read starting
+            at ``stall_offset``.  Stalls are applied to a scratch copy
+            of the enabled vector: the persistent ``fired`` array only
+            recomputes grouped (input-bearing) rows each step, so
+            writing stalls into it would wedge source nodes forever.
     """
     starts = compiled.group_starts
     group_nodes = compiled.group_nodes
@@ -58,15 +67,20 @@ def step_batch(
     batch = tokens.shape[0]
     fired = np.ones((batch, compiled.n_nodes), dtype=tokens.dtype)
     grouped = starts.size > 0
+    scratch = np.empty_like(fired) if stall_mask is not None else None
     for t in range(clocks):
         if grouped:
             mins = np.minimum.reduceat(tokens, starts, axis=1)
             fired[:, group_nodes] = mins >= 1
+        live = fired
+        if scratch is not None:
+            np.multiply(fired, ~stall_mask[stall_offset + t], out=scratch)
+            live = scratch
         if history is not None:
-            history[history_offset + t] = fired != 0
-        tokens += fired[:, src]
-        tokens -= fired[:, dst]
+            history[history_offset + t] = live != 0
+        tokens += live[:, src]
+        tokens -= live[:, dst]
         if occupancy is not None and occ_cols.size:
             np.maximum(occupancy, tokens[:, occ_cols], out=occupancy)
         if counts is not None and t >= count_from:
-            counts += fired
+            counts += live

@@ -213,6 +213,8 @@ def run_exhaustive_insertion(
     simulate_clocks: int | None = None,
     simulate_warmup: int = 100,
     simulate_tolerance: Fraction = Fraction(1, 20),
+    checkpoint=None,
+    checkpoint_chunk: int = 16,
 ) -> ExhaustiveReport:
     """The Table V sweep, fanned out through the analysis engine.
 
@@ -241,9 +243,15 @@ def run_exhaustive_insertion(
             run.
         simulate_tolerance: Allowed |measured - analytic| gap (the
             finite horizon makes measured rates O(1/clocks) off).
+        checkpoint: Optional checkpoint file path (or
+            :class:`repro.engine.Checkpoint`): completed placements are
+            journaled ``checkpoint_chunk`` at a time, and a re-run with
+            the same file resumes after the last completed chunk with
+            byte-for-byte identical output (the ``--checkpoint`` flag
+            of the table5 benchmark and ``repro chaos``).
     """
     from ..core.serialize import lis_to_json
-    from ..engine import AnalysisEngine
+    from ..engine import AnalysisEngine, run_checkpointed
 
     base = cofdm_transmitter(queue=queue)
     base_json = lis_to_json(base)
@@ -265,7 +273,12 @@ def run_exhaustive_insertion(
         for combo in combos
     ]
     def _sweep(eng) -> tuple[list, dict | None]:
-        placements = eng.run(tasks)
+        if checkpoint is not None:
+            placements = run_checkpointed(
+                eng, tasks, checkpoint, chunk=checkpoint_chunk
+            )
+        else:
+            placements = eng.run(tasks)
         simulation = None
         if simulate_clocks is not None:
             simulation = _verify_by_simulation(
@@ -275,6 +288,8 @@ def run_exhaustive_insertion(
                 clocks=simulate_clocks,
                 warmup=simulate_warmup,
                 tolerance=simulate_tolerance,
+                checkpoint=checkpoint,
+                checkpoint_chunk=checkpoint_chunk,
             )
         return placements, simulation
 
@@ -304,11 +319,14 @@ def _verify_by_simulation(
     clocks: int,
     warmup: int,
     tolerance: Fraction,
+    checkpoint=None,
+    checkpoint_chunk: int = 16,
 ) -> dict:
     """Empirically confirm the analytic degraded MSTs: simulate each
     degraded placement through the ``simulate_batch`` op and compare
     the measured common rate against ``PlacementResult.actual``."""
     from ..core.serialize import lis_to_json
+    from ..engine import run_checkpointed
 
     degraded = [p for p in placements if p.degraded]
     sim_tasks = []
@@ -323,8 +341,14 @@ def _verify_by_simulation(
                 {"assignments": [{}], "clocks": clocks, "warmup": warmup},
             )
         )
+    if checkpoint is not None:
+        sim_results = run_checkpointed(
+            engine, sim_tasks, checkpoint, chunk=checkpoint_chunk
+        )
+    else:
+        sim_results = engine.run(sim_tasks)
     mismatches = []
-    for placement, result in zip(degraded, engine.run(sim_tasks)):
+    for placement, result in zip(degraded, sim_results):
         # The COFDM graph is weakly connected, so the doubled graph is
         # strongly connected and every shell settles to the MST; the
         # minimum measured rate is the tightest comparator.

@@ -1,0 +1,88 @@
+"""Campaign orchestration: seeded spec fleets, engine fan-out, and the
+executor chaos drills."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    campaign_specs,
+    engine_chaos_drill,
+    run_campaign,
+)
+from repro.gen.examples import fig15_lis
+
+
+def test_campaign_specs_are_reproducible_and_cover_all_kinds():
+    a = campaign_specs(12, seed=5)
+    b = campaign_specs(12, seed=5)
+    assert a == b
+    assert {s.kind for specs in a for s in specs} == set(FAULT_KINDS)
+    # Composed schedules appear (every sixth draws two specs).
+    assert any(len(specs) == 2 for specs in a)
+    assert campaign_specs(12, seed=6) != a
+
+
+def test_campaign_specs_validation():
+    with pytest.raises(ValueError, match="schedules"):
+        campaign_specs(-1)
+    with pytest.raises(ValueError, match="kinds"):
+        campaign_specs(3, kinds=())
+
+
+def test_run_campaign_serial_matches_parallel():
+    lis = fig15_lis()
+    serial = run_campaign(lis, schedules=3, backends=("trace",), seed=2)
+    parallel = run_campaign(
+        lis, schedules=3, backends=("trace",), seed=2, jobs=2
+    )
+    assert serial.ok and parallel.ok
+    assert serial.trials == parallel.trials
+    summary = serial.summary()
+    assert summary["trials"] == 3
+    assert summary["violations"] == 0
+    assert "PASS" in serial.render()
+
+
+def test_run_campaign_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        run_campaign(fig15_lis(), schedules=1, backends=("warp",))
+
+
+def test_run_campaign_checkpoint_resume_is_identical(tmp_path):
+    lis = fig15_lis()
+    journal = tmp_path / "campaign.ckpt"
+    first = run_campaign(
+        lis, schedules=2, backends=("trace", "fast"), seed=3,
+        checkpoint=journal,
+    )
+    # Second run must be served entirely from the journal.
+    from repro.engine import AnalysisEngine
+
+    with AnalysisEngine() as eng:
+        second = run_campaign(
+            lis, schedules=2, backends=("trace", "fast"), seed=3,
+            engine=eng, checkpoint=journal,
+        )
+        assert eng.stats.checkpoint_hits == 4
+        assert eng.stats.tasks == 0
+    assert second.trials == first.trials
+
+
+def test_engine_chaos_drill_survives_a_killed_worker():
+    outcome = engine_chaos_drill(mode="kill", jobs=2)
+    assert outcome["ok"], outcome
+    assert outcome["survived"] and outcome["siblings_ok"]
+    assert outcome["pool_rebuilds"] >= 1
+    assert outcome["retries"] >= 1
+
+
+def test_engine_chaos_drill_survives_a_hung_worker():
+    outcome = engine_chaos_drill(mode="hang", jobs=2, op_timeout=2.0)
+    assert outcome["ok"], outcome
+    assert outcome["op_timeouts"] >= 1
+    assert outcome["pool_rebuilds"] >= 1
+
+
+def test_engine_chaos_drill_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="chaos mode"):
+        engine_chaos_drill(mode="tsunami")

@@ -231,6 +231,45 @@ def test_dot_views(fig1_file, capsys):
             assert "shape=box" in out  # relay stations
 
 
+def test_chaos_smoke(capsys):
+    args = [
+        "chaos", "--system", "fig15",
+        "--schedules", "2", "--seed", "7", "--backends", "trace",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "2 schedules" in out
+    assert "injected stalls:" in out
+
+
+def test_chaos_json_output(capsys):
+    args = [
+        "chaos", "--system", "fig1",
+        "--schedules", "2", "--seed", "3", "--backends", "trace", "--json",
+    ]
+    assert main(args) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["summary"]["violations"] == 0
+    assert doc["summary"]["ok"] is True
+    assert len(doc["trials"]) == 2
+
+
+def test_chaos_rejects_unknown_backend(capsys):
+    args = ["chaos", "--backends", "warp", "--schedules", "1"]
+    assert main(args) == 2
+    assert "unknown backend" in capsys.readouterr().err
+
+
+def test_chaos_on_a_system_file(fig1_file, capsys):
+    args = [
+        "chaos", "--system", str(fig1_file),
+        "--schedules", "1", "--backends", "trace",
+    ]
+    assert main(args) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
