@@ -34,6 +34,9 @@ Subpackages:
   models for open systems.
 * :mod:`repro.sim` -- the NumPy-vectorized batch simulation kernel,
   cycle-exact against both reference simulators.
+* :mod:`repro.schedule` -- the analytic schedule oracle: balanced
+  binary firing words, exact steady-state throughput, occupancy and
+  transient latency without simulating (``backend="schedule"``).
 * :mod:`repro.gen` -- the Section VIII random generator and every
   worked example from the paper's figures.
 * :mod:`repro.soc` -- the COFDM UWB transmitter case study.
@@ -88,13 +91,25 @@ from .faults import (
     run_campaign,
 )
 from .gen import GeneratorConfig, generate_lis
-from .lis import RtlSimulator, ShellBehavior, TraceSimulator, simulate_trace
+from .lis import (
+    Backend,
+    RtlSimulator,
+    ShellBehavior,
+    TraceSimulator,
+    available_backends,
+    crossvalidate,
+    get_backend,
+    measured_throughput,
+    register_backend,
+    simulate_trace,
+)
+__version__ = "1.6.0"
 
-__version__ = "1.5.0"
-
-# The vectorized backend needs numpy, which is an optional dependency;
-# resolve its names lazily so `import repro` works without it.
+# The vectorized backend and the schedule oracle need numpy, which is
+# an optional dependency; resolve their names lazily so `import repro`
+# works without it.
 _SIM_EXPORTS = {"BatchSimulator", "FastSimulator", "simulate_fast"}
+_SCHEDULE_EXPORTS = {"ScheduleOracle", "derive_schedule"}
 
 
 def __getattr__(name):
@@ -102,12 +117,17 @@ def __getattr__(name):
         from . import sim
 
         return getattr(sim, name)
+    if name in _SCHEDULE_EXPORTS:
+        from . import schedule
+
+        return getattr(schedule, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "AnalysisEngine",
     "AnalysisReport",
+    "Backend",
     "BatchSimulator",
     "Checkpoint",
     "Context",
@@ -120,6 +140,7 @@ __all__ = [
     "MarkedGraph",
     "QsSolution",
     "RtlSimulator",
+    "ScheduleOracle",
     "ShellBehavior",
     "Solver",
     "TdKernel",
@@ -129,19 +150,25 @@ __all__ = [
     "actual_mst",
     "analyze",
     "analyze_many",
+    "available_backends",
     "available_solvers",
     "build_schedule",
     "check_invariants",
     "classify_topology",
     "compile_td",
+    "crossvalidate",
     "degradation_ratio",
+    "derive_schedule",
     "fixed_qs_mst",
     "generate_lis",
+    "get_backend",
     "get_context",
     "get_solver",
     "ideal_mst",
+    "measured_throughput",
     "minimal_fixed_q",
     "mst",
+    "register_backend",
     "register_solver",
     "run_campaign",
     "run_checkpointed",

@@ -54,6 +54,7 @@ from ..core.serialize import lis_fingerprint, lis_from_json, lis_to_json
 from ..core.throughput import ThroughputResult, mst
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..schedule.oracle import ScheduleOracle
     from ..sim.compile import CompiledSystem
 
 __all__ = [
@@ -75,6 +76,7 @@ ARTIFACTS = (
     "collapsed",
     "compiled",
     "td_kernel",
+    "schedule",
 )
 
 
@@ -207,6 +209,7 @@ class Context:
         self._collapsed: tuple["Context", dict[int, int]] | None = None
         self._compiled: "CompiledSystem | None" = None
         self._td_kernels: dict[tuple, object] = {}
+        self._schedules: dict[tuple, "ScheduleOracle"] = {}
 
     # ------------------------------------------------------------------
     # Read-only LisGraph surface (duck-typed pass-throughs)
@@ -486,6 +489,34 @@ class Context:
             else:
                 self.stats.record("compiled", hit=True)
             return self._compiled
+
+    def schedule_oracle(
+        self,
+        extra_tokens: dict[int, int] | None = None,
+        max_steps: int = 50_000,
+    ) -> "ScheduleOracle":
+        """The analytic :class:`~repro.schedule.ScheduleOracle` of this
+        content, cached per extra-token assignment.
+
+        The oracle is immutable (frozen arrays, closed-form queries),
+        so one marking walk serves every ``backend="schedule"``
+        measurement, occupancy query, and differential check on the
+        same fingerprint.  The walk itself reuses :meth:`compiled`.
+        """
+        key = _extra_key(extra_tokens, self._channel_ids)
+        with self._lock:
+            oracle = self._schedules.get(key)
+            if oracle is None:
+                from ..schedule.oracle import derive_schedule
+
+                oracle = derive_schedule(
+                    self, extra_tokens=dict(key), max_steps=max_steps
+                )
+                self._schedules[key] = oracle
+                self.stats.record("schedule", hit=False)
+            else:
+                self.stats.record("schedule", hit=True)
+            return oracle
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -189,10 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--warmup", type=int, default=100)
     sim.add_argument(
         "--backend",
-        choices=("trace", "rtl", "fast"),
+        choices=("trace", "rtl", "fast", "schedule"),
         default=None,
-        help="simulation backend (default: trace; 'fast' is the "
-        "vectorized kernel)",
+        help="measurement backend (default: trace; 'fast' is the "
+        "vectorized kernel, 'schedule' the analytic oracle -- exact "
+        "asymptotic rate, no clocks simulated)",
     )
     # Removed alias kept only to emit a pointed migration error.
     sim.add_argument("--simulator", default=None, help=argparse.SUPPRESS)
@@ -562,7 +563,7 @@ def _cmd_simulate_batch(args, lis, backend) -> int:
 
 def _cmd_simulate(args) -> int:
     from .analysis import get_context
-    from .lis import measured_throughput
+    from .lis import measured_throughput, resolve_backend
 
     if args.simulator is not None:
         print(
@@ -575,20 +576,26 @@ def _cmd_simulate(args) -> int:
     lis = get_context(load_lis(args.file))
     if args.batch is not None:
         return _cmd_simulate_batch(args, lis, backend)
-    backend = backend or "trace"
+    # Resolve the fallback chain up front so the report names the
+    # backend that actually ran (schedule -> fast on disconnected
+    # systems).
+    resolved = resolve_backend(backend or "trace", lis)
     probe = _probe_shell(lis, args.shell)
     rate = measured_throughput(
         lis,
         probe,
         clocks=args.clocks,
         warmup=args.warmup,
-        simulator=backend,
+        backend=resolved.name,
     )
     analytic = actual_mst(lis).mst
     print(f"probe shell:     {probe}")
-    print(f"simulator:       {backend}")
+    print(f"simulator:       {resolved.name}")
     print(f"measured rate:   {rate} ({float(rate):.4f})")
     print(f"analytic MST:    {analytic} ({float(analytic):.4f})")
+    if resolved.exact:
+        match = "equal" if rate == analytic else "MISMATCH"
+        print(f"exact backend:   rate vs analytic MST: {match}")
     return 0
 
 

@@ -72,6 +72,22 @@ class Schedule:
             raise ScheduleError("empty period")
         return Fraction(self.firings_in_period(transition), len(self.period))
 
+    def firing_word(self, transition: Hashable) -> tuple[int, ...]:
+        """One period of ``transition``'s steady-state binary firing
+        word (1 = fires that clock).  Its density is the transition's
+        exact rate; a balanced word of the same rate always exists
+        (:func:`repro.schedule.mechanical_word`), though the ASAP word
+        itself need not be balanced -- check with
+        :func:`repro.schedule.is_balanced`."""
+        return tuple(
+            1 if transition in fired else 0 for fired in self.period
+        )
+
+    @property
+    def transient(self) -> int:
+        """Clocks before the marking enters its steady-state orbit."""
+        return len(self.prefix)
+
     def firing_plan(self, transition: Hashable, clocks: int) -> list[bool]:
         """Whether ``transition`` fires at each of the first ``clocks``
         cycles of the scheduled execution."""
@@ -127,22 +143,28 @@ def schedule_lis(
     lis: LisGraph,
     practical: bool = True,
     max_steps: int = 10_000,
+    extra_tokens: dict[int, int] | None = None,
 ) -> Schedule:
     """Schedule a LIS.
 
     With ``practical=True`` the schedule is derived from the doubled
-    marked graph (finite queues as configured) -- it reproduces exactly
-    what the backpressure protocol would do, so replacing the protocol
-    with this schedule is behaviour-preserving.  With
-    ``practical=False`` the ideal system (infinite queues) is
-    scheduled; its ``peak_tokens`` then reveal the buffering a
-    schedule-based, backpressure-free implementation needs.
+    marked graph (finite queues as configured, plus any ``extra_tokens``
+    queue-sizing assignment) -- it reproduces exactly what the
+    backpressure protocol would do, so replacing the protocol with this
+    schedule is behaviour-preserving.  With ``practical=False`` the
+    ideal system (infinite queues) is scheduled; its ``peak_tokens``
+    then reveal the buffering a schedule-based, backpressure-free
+    implementation needs.
     """
-    mg = (
-        lis.doubled_marked_graph()
-        if practical
-        else lis.ideal_marked_graph()
-    )
+    if practical:
+        mg = lis.doubled_marked_graph(extra_tokens)
+    else:
+        if extra_tokens:
+            raise ScheduleError(
+                "extra queue tokens are meaningless on the ideal "
+                "(infinite-queue) system"
+            )
+        mg = lis.ideal_marked_graph()
     return periodic_schedule(mg, max_steps=max_steps)
 
 

@@ -108,14 +108,38 @@ def _op_actual_mst(ctx: Context, options: dict):
     return actual_mst(ctx, extra), {"solver_calls": 0}
 
 
+def _sweep_rate(trial, method: str) -> Fraction:
+    """The practical rate of one sweep point under the chosen method:
+    ``"analytic"`` (Karp minimum cycle mean) or ``"schedule"`` (the
+    analytic schedule oracle's common shell rate, falling back to
+    Karp on systems it does not support)."""
+    if method == "schedule":
+        from ..lis.backends import get_backend
+
+        tctx = get_context(trial)
+        if get_backend("schedule").supports(tctx):
+            return tctx.schedule_oracle().min_rate()
+        return actual_mst(tctx).mst
+    if method != "analytic":
+        raise ValueError(f"unknown sweep method {method!r}")
+    return actual_mst(trial).mst
+
+
 def _op_mst_sweep(ctx: Context, options: dict):
     """Ideal MST plus the practical MST at each uniform queue size.
 
     Options: ``queues`` (list of ints), ``include_ideal`` (default
-    True).  Returns ``{"inf": Fraction, "<q>": Fraction, ...}`` -- the
-    per-trial unit of the Fig. 16 / Fig. 17 sweeps, batched so one
-    task amortizes one system's generation and transfer.
+    True), ``method`` (``"analytic"`` -- Karp, the default -- or
+    ``"schedule"`` for the eventually-periodic oracle; the two are
+    provably equal on strongly connected systems, so ``"schedule"``
+    here is the cross-checking mode of the Fig. 16/17 sweeps, with
+    ``"inf"`` always analytic because the ideal system may accumulate
+    tokens unboundedly).  Returns ``{"inf": Fraction, "<q>":
+    Fraction, ...}`` -- the per-trial unit of the Fig. 16 / Fig. 17
+    sweeps, batched so one task amortizes one system's generation and
+    transfer.
     """
+    method = options.get("method", "analytic")
     out: dict[str, Fraction] = {}
     if options.get("include_ideal", True):
         out["inf"] = ideal_mst(ctx).mst
@@ -124,8 +148,44 @@ def _op_mst_sweep(ctx: Context, options: dict):
         # rather than building (and registering) a context per point.
         trial = ctx.copy()
         trial.set_all_queues(int(q))
-        out[str(q)] = actual_mst(trial).mst
+        out[str(q)] = _sweep_rate(trial, method)
     return out, {"solver_calls": 0}
+
+
+def _op_measure(ctx: Context, options: dict):
+    """Throughput of one shell through a named measurement backend
+    (:mod:`repro.lis.backends`), with automatic fallback.
+
+    Options: ``backend`` (default ``"schedule"``), ``shell`` (default:
+    the limiting-cycle probe of :func:`repro.lis.select_probe_shell`),
+    ``clocks`` / ``warmup`` (simulation horizon; ignored by exact
+    backends), ``extra_tokens``.  Returns ``{"shell", "backend"
+    (the backend that actually ran, after fallback), "throughput"}``.
+    """
+    from ..lis.backends import resolve_backend
+    from ..lis.measurement import select_probe_shell
+
+    extra = options.get("extra_tokens")
+    if extra is not None:
+        extra = {int(cid): int(tokens) for cid, tokens in extra.items()}
+    shell = options.get("shell")
+    if shell is None:
+        shell = select_probe_shell(ctx, extra_tokens=extra)
+    clocks = int(options.get("clocks", 400))
+    warmup = int(options.get("warmup", 100))
+    backend = resolve_backend(options.get("backend", "schedule"), ctx)
+    rate = backend.measure(
+        ctx, shell, clocks=clocks, warmup=warmup, extra_tokens=extra
+    )
+    meta = {
+        "solver_calls": 0,
+        "simulated_cycles": 0 if backend.exact else warmup + clocks,
+    }
+    return {
+        "shell": shell,
+        "backend": backend.name,
+        "throughput": rate,
+    }, meta
 
 
 def _op_size_queues(ctx: Context, options: dict):
@@ -286,7 +346,11 @@ def _op_simulate_batch(ctx: Context, options: dict):
     ``warmup`` (discarded leading cycles, default 100),
     ``check_feasible`` (default False: also validate every assignment
     against the *unsimplified* token-deficit kernel in one batch
-    matrix check, reported as a ``feasible`` flag per assignment).
+    matrix check, reported as a ``feasible`` flag per assignment),
+    ``backend`` (``"fast"``, the default, or ``"schedule"``: answer
+    from the analytic oracle instead of stepping clocks -- exact
+    asymptotic rates and infinite-horizon peak occupancies, falling
+    back to ``fast`` when the oracle does not support the system).
     Returns one dict per assignment: ``throughput`` ({shell: Fraction}
     over the measurement window) and ``max_occupancy`` ({channel id:
     peak items on the consumer shell's queue}).
@@ -299,30 +363,55 @@ def _op_simulate_batch(ctx: Context, options: dict):
     ]
     clocks = int(options.get("clocks", 400))
     warmup = int(options.get("warmup", 100))
+    backend = options.get("backend", "fast")
+    if backend not in ("fast", "schedule"):
+        raise ValueError(
+            f"simulate_batch backend must be 'fast' or 'schedule', "
+            f"got {backend!r}"
+        )
     flags = None
     solver_meta: dict = {}
     if options.get("check_feasible"):
         kern = ctx.td_kernel(simplify=False)
         flags = [bool(f) for f in kern.check_batch(assignments)]
         solver_meta = _solver_counters({"batch_checks": len(assignments)})
-    sim = BatchSimulator(ctx, assignments)
-    result = sim.run(warmup + clocks, warmup=warmup)
-    compiled = sim.compiled
+
+    if backend == "schedule":
+        from ..lis.backends import get_backend
+
+        if not get_backend("schedule").supports(ctx):
+            backend = "fast"
+
     out = []
-    for b in range(result.width):
-        rates = result.throughput(b)
-        entry = {
-            "throughput": {
-                name: rates[name]
-                for i, name in enumerate(compiled.node_names)
-                if compiled.is_shell[i]
-            },
-            "max_occupancy": result.max_queue_occupancy(b),
-        }
-        if flags is not None:
-            entry["feasible"] = flags[b]
-        out.append(entry)
-    meta = {"solver_calls": 0, "simulated_cycles": warmup + clocks}
+    if backend == "schedule":
+        for b, extra in enumerate(assignments):
+            oracle = ctx.schedule_oracle(extra)
+            entry = {
+                "throughput": oracle.shell_throughputs(),
+                "max_occupancy": oracle.max_queue_occupancy(),
+            }
+            if flags is not None:
+                entry["feasible"] = flags[b]
+            out.append(entry)
+        meta = {"solver_calls": 0, "simulated_cycles": 0}
+    else:
+        sim = BatchSimulator(ctx, assignments)
+        result = sim.run(warmup + clocks, warmup=warmup)
+        compiled = sim.compiled
+        for b in range(result.width):
+            rates = result.throughput(b)
+            entry = {
+                "throughput": {
+                    name: rates[name]
+                    for i, name in enumerate(compiled.node_names)
+                    if compiled.is_shell[i]
+                },
+                "max_occupancy": result.max_queue_occupancy(b),
+            }
+            if flags is not None:
+                entry["feasible"] = flags[b]
+            out.append(entry)
+        meta = {"solver_calls": 0, "simulated_cycles": warmup + clocks}
     if solver_meta:
         meta["solver"] = solver_meta
     return out, meta
@@ -398,6 +487,7 @@ def _op_chaos_probe(ctx: Context, options: dict):
 register_op("ideal_mst", _op_ideal_mst)
 register_op("actual_mst", _op_actual_mst)
 register_op("mst_sweep", _op_mst_sweep)
+register_op("measure", _op_measure)
 register_op("size_queues", _op_size_queues)
 register_op("analyze", _op_analyze)
 register_op("table4_trial", _op_table4_trial)

@@ -65,6 +65,7 @@ def fig16_mst_degradation(
     engine: AnalysisEngine | None = None,
     checkpoint=None,
     checkpoint_chunk: int = 16,
+    method: str = "analytic",
 ) -> dict[tuple[str, str], list[float]]:
     """Fig. 16: average MST vs relay-station count.
 
@@ -72,6 +73,10 @@ def fig16_mst_degradation(
     ``queue_label`` is ``"inf"`` for the ideal system (infinite queues,
     no backpressure) or ``str(q)`` for finite uniform queues.
     ``checkpoint`` journals completed sweeps for crash resume.
+    ``method`` selects how each finite-queue point is computed:
+    ``"analytic"`` (Karp) or ``"schedule"`` (the eventually-periodic
+    oracle -- same exact values, different derivation; see the
+    ``mst_sweep`` op).
     """
     grid = [
         (policy, rs, trial)
@@ -90,7 +95,13 @@ def fig16_mst_degradation(
             policy=policy,
             seed=seed_base + 7919 * trial + rs,
         )
-        tasks.append(("mst_sweep", generate_lis(cfg), {"queues": queues}))
+        tasks.append(
+            (
+                "mst_sweep",
+                generate_lis(cfg),
+                {"queues": queues, "method": method},
+            )
+        )
     with _engine_for(engine, jobs, cache_dir) as eng:
         sweeps = _run_tasks(eng, tasks, checkpoint, checkpoint_chunk)
 
@@ -124,16 +135,25 @@ def fig17_fixed_queue_recovery(
     engine: AnalysisEngine | None = None,
     checkpoint=None,
     checkpoint_chunk: int = 16,
+    method: str = "analytic",
 ) -> dict[int, float]:
     """Fig. 17: average actual/ideal MST ratio vs uniform queue size,
-    for scc-policy relay insertion (ideal MST is 1 there)."""
+    for scc-policy relay insertion (ideal MST is 1 there).  ``method``
+    is forwarded to the ``mst_sweep`` op (``"analytic"`` or
+    ``"schedule"``)."""
     tasks = []
     for trial in range(trials):
         cfg = GeneratorConfig(
             v=v, s=s, c=c, rs=rs, rp=True, policy="scc",
             seed=seed_base + 104729 * trial,
         )
-        tasks.append(("mst_sweep", generate_lis(cfg), {"queues": q_values}))
+        tasks.append(
+            (
+                "mst_sweep",
+                generate_lis(cfg),
+                {"queues": q_values, "method": method},
+            )
+        )
     with _engine_for(engine, jobs, cache_dir) as eng:
         sweeps = _run_tasks(eng, tasks, checkpoint, checkpoint_chunk)
     totals = {q: 0.0 for q in q_values}

@@ -33,6 +33,7 @@ from typing import Callable, Hashable, Mapping
 
 from ..core.lis_graph import LisGraph
 from ..core.throughput import actual_mst, ideal_mst
+from ..lis.backends import BACKENDS as _SIM_BACKENDS
 from ..lis.equivalence import valid_stream
 from ..lis.protocol import ShellBehavior, Trace
 from ..lis.rtl_sim import RtlSimulator
@@ -47,7 +48,14 @@ from .models import (
 
 __all__ = ["BACKENDS", "Violation", "FaultRunReport", "check_invariants"]
 
-BACKENDS = ("trace", "rtl", "fast")
+#: Fault-capable simulation backends, straight from the registry's
+#: capability flags (the analytic ``schedule`` oracle has no notion of
+#: a per-clock stall, so it is excluded automatically).
+BACKENDS = tuple(
+    name
+    for name, backend in _SIM_BACKENDS.items()
+    if backend.supports_faults
+)
 
 
 @dataclass(frozen=True)

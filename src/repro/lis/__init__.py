@@ -9,7 +9,20 @@ from .protocol import TAU, ShellBehavior, Tau, Trace, adder, counter
 from .trace_sim import TraceSimulator, simulate_trace
 from .rtl_sim import RtlRelayStation, RtlShell, RtlSimulator, simulate_rtl
 from .environment import always_ready, bursty, periodic_stall, rate_limited
-from .measurement import crossvalidate, effective_throughput, measured_throughput
+from .backends import (
+    BACKENDS,
+    Backend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from .measurement import (
+    crossvalidate,
+    effective_throughput,
+    measured_throughput,
+    select_probe_shell,
+)
 from .equivalence import (
     EquivalenceReport,
     check_latency_equivalence,
@@ -33,6 +46,13 @@ __all__ = [
     "bursty",
     "periodic_stall",
     "rate_limited",
+    "BACKENDS",
+    "Backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "select_probe_shell",
     "crossvalidate",
     "EquivalenceReport",
     "check_latency_equivalence",

@@ -9,15 +9,20 @@ cross-validation properties and the ``sim_xval`` benchmark.
 
 from __future__ import annotations
 
+import warnings
 from fractions import Fraction
 from typing import Hashable
 
 from ..core.lis_graph import LisGraph
-from ..core.throughput import actual_mst
-from .rtl_sim import RtlSimulator
-from .trace_sim import TraceSimulator
+from ..core.throughput import ThroughputResult, actual_mst
+from .backends import BACKENDS, get_backend, resolve_backend
 
-__all__ = ["measured_throughput", "crossvalidate", "effective_throughput"]
+__all__ = [
+    "measured_throughput",
+    "crossvalidate",
+    "effective_throughput",
+    "select_probe_shell",
+]
 
 
 def effective_throughput(
@@ -53,34 +58,79 @@ def measured_throughput(
     shell: Hashable,
     clocks: int = 400,
     warmup: int = 100,
-    simulator: str = "trace",
+    backend: str | None = None,
     extra_tokens: dict[int, int] | None = None,
+    *,
+    faults=None,
+    simulator: str | None = None,
 ) -> Fraction:
     """Long-run firing rate of ``shell`` under the chosen backend
-    (``"trace"``, ``"rtl"``, or the vectorized ``"fast"`` kernel).
+    (any :func:`repro.lis.backends.get_backend` name; default
+    ``"trace"``).
+
+    ``"trace"``, ``"rtl"`` and ``"fast"`` simulate ``clocks`` measured
+    cycles after ``warmup``; ``"schedule"`` returns the exact
+    asymptotic ``Fraction`` rate from the analytic oracle, ignoring the
+    horizon -- and falls back to ``"fast"`` automatically when the
+    system is not weakly connected or a fault gate is supplied
+    (:func:`~repro.lis.backends.resolve_backend`).
 
     ``lis`` may be a :class:`~repro.core.LisGraph` or an
     :class:`repro.analysis.Context`; with a context, every backend
-    reuses its cached lowering / compiled arrays.
-    """
-    if simulator == "fast":
-        # Token counting only -- no per-clock value replay needed.
-        from ..sim import BatchSimulator
+    reuses its cached lowering / compiled arrays (and the ``schedule``
+    oracle is memoized outright).
 
-        result = BatchSimulator(lis, [dict(extra_tokens or {})]).run(
-            warmup + clocks, warmup=warmup
+    .. deprecated:: 1.6
+        The ``simulator=`` keyword: use ``backend=`` (same values).
+    """
+    if simulator is not None:
+        if backend is not None:
+            raise TypeError(
+                "pass backend= only (simulator= is its deprecated alias)"
+            )
+        warnings.warn(
+            "the simulator= keyword of measured_throughput() is "
+            "deprecated; use backend=",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        return result.throughput(0, shell)
-    if simulator == "trace":
-        sim: TraceSimulator | RtlSimulator = TraceSimulator(
-            lis, extra_tokens=extra_tokens
-        )
-    elif simulator == "rtl":
-        sim = RtlSimulator(lis, extra_tokens=extra_tokens)
-    else:
-        raise ValueError(f"unknown simulator {simulator!r}")
-    sim.run(warmup + clocks)
-    return sim.trace.throughput(shell, skip=warmup)
+        backend = simulator
+    chosen = resolve_backend(backend or "trace", lis, faults=faults)
+    return chosen.measure(
+        lis,
+        shell,
+        clocks=clocks,
+        warmup=warmup,
+        extra_tokens=extra_tokens,
+        faults=faults,
+    )
+
+
+def select_probe_shell(
+    lis: LisGraph,
+    analysis: ThroughputResult | None = None,
+    extra_tokens: dict[int, int] | None = None,
+) -> Hashable:
+    """The shell whose rate cross-validation probes.
+
+    Prefers a *shell* on the limiting critical cycle (its rate is
+    pinned to the MST even before the rest of the system settles);
+    relay stations are filtered out because they are implementation
+    detail, not system nodes.  When the limiting SCC consists solely of
+    relay stations -- possible on heavily pipelined degenerate cycles
+    -- the first SCC member is probed; with no limiting SCC at all
+    (MST = 1) any shell does.
+    """
+    if analysis is None:
+        analysis = actual_mst(lis, extra_tokens)
+    if analysis.limiting_scc:
+        candidates = [
+            node
+            for node in analysis.limiting_scc
+            if not (isinstance(node, tuple) and node and node[0] == "rs")
+        ]
+        return candidates[0] if candidates else next(iter(analysis.limiting_scc))
+    return lis.shells()[0]
 
 
 def crossvalidate(
@@ -89,55 +139,58 @@ def crossvalidate(
     warmup: int = 100,
     tolerance: Fraction = Fraction(1, 25),
     extra_tokens: dict[int, int] | None = None,
+    backends=None,
 ) -> dict:
-    """Compare analytic MST against all three simulation backends.
+    """Compare the analytic MST against every registered backend.
 
-    Measures the rate of a shell on the limiting critical cycle (or an
-    arbitrary shell when the MST is 1) and returns a report dict with
-    ``analytic``, ``trace``, ``rtl``, ``fast`` rates and ``agreed``
-    (True when every empirical rate is within ``tolerance`` of the
-    analytic MST).
+    Measures the rate of a shell on the limiting critical cycle (see
+    :func:`select_probe_shell`) through each backend of the
+    :mod:`repro.lis.backends` registry (or the given subset of names)
+    that supports the system, and returns a report dict with
+    ``analytic``, one rate per backend name, and ``agreed``.
 
-    The finite-horizon rate of a periodic system differs from the
-    asymptotic rate by O(1/clocks), hence the tolerance.
+    Agreement demands:
+
+    * every *simulation* backend within ``tolerance`` of the analytic
+      MST (the finite horizon makes measured rates O(1/clocks) off);
+    * every ``exact`` backend (e.g. ``schedule``) **equal** to the
+      analytic MST -- no tolerance;
+    * the vectorized and reference simulators cycle-exactly equal
+      (``fast == trace``), since they implement the same semantics.
+
+    A backend registered later is cross-checked here for free.
 
     The system is wrapped in one shared
     :class:`repro.analysis.Context`, so the analytic MST, the trace
-    backend's doubled lowering, and the fast backend's compiled arrays
-    all derive from a single lowering pass.
+    backend's doubled lowering, the fast backend's compiled arrays and
+    the schedule oracle all derive from a single lowering pass.
     """
     from ..analysis import get_context
 
     lis = get_context(lis)
     analysis = actual_mst(lis, extra_tokens)
-    if analysis.limiting_scc:
-        candidates = [
-            node
-            for node in analysis.limiting_scc
-            if not (isinstance(node, tuple) and node and node[0] == "rs")
-        ]
-        probe = candidates[0] if candidates else next(iter(analysis.limiting_scc))
-    else:
-        probe = lis.shells()[0]
-    trace_rate = measured_throughput(
-        lis, probe, clocks, warmup, "trace", extra_tokens
-    )
-    rtl_rate = measured_throughput(
-        lis, probe, clocks, warmup, "rtl", extra_tokens
-    )
-    fast_rate = measured_throughput(
-        lis, probe, clocks, warmup, "fast", extra_tokens
-    )
-    agreed = (
-        abs(trace_rate - analysis.mst) <= tolerance
-        and abs(rtl_rate - analysis.mst) <= tolerance
-        and fast_rate == trace_rate  # same semantics: exactly equal
-    )
+    probe = select_probe_shell(lis, analysis)
+    names = tuple(backends) if backends is not None else tuple(BACKENDS)
+    rates: dict[str, Fraction] = {}
+    agreed = True
+    for name in names:
+        chosen = get_backend(name)
+        if not chosen.supports(lis):
+            continue
+        rate = chosen.measure(
+            lis, probe, clocks=clocks, warmup=warmup, extra_tokens=extra_tokens
+        )
+        rates[chosen.name] = rate
+        if chosen.exact:
+            agreed = agreed and rate == analysis.mst
+        else:
+            agreed = agreed and abs(rate - analysis.mst) <= tolerance
+    if "fast" in rates and "trace" in rates:
+        # Same semantics: exactly equal.
+        agreed = agreed and rates["fast"] == rates["trace"]
     return {
         "probe": probe,
         "analytic": analysis.mst,
-        "trace": trace_rate,
-        "rtl": rtl_rate,
-        "fast": fast_rate,
+        **rates,
         "agreed": agreed,
     }

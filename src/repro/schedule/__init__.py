@@ -1,0 +1,22 @@
+"""Analytic schedule derivation (the closed-form measurement backend).
+
+Derives the eventually-periodic execution of a LIS -- transient prefix
+plus balanced-binary-word steady state -- and answers throughput and
+occupancy questions exactly, without simulating a measurement horizon.
+:class:`ScheduleOracle` is memoized per system content as the
+``schedule`` artifact of an :class:`repro.analysis.Context`, and backs
+``backend="schedule"`` throughout :mod:`repro.lis.backends`.
+"""
+
+from .oracle import ScheduleOracle, derive_schedule, derive_schedule_reference
+from .words import is_balanced, mechanical_word, word_offset, word_rate
+
+__all__ = [
+    "ScheduleOracle",
+    "derive_schedule",
+    "derive_schedule_reference",
+    "is_balanced",
+    "mechanical_word",
+    "word_offset",
+    "word_rate",
+]

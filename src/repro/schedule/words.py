@@ -1,0 +1,107 @@
+"""Balanced binary words (Millo & de Simone, "Periodic scheduling of
+marked graphs using balanced binary words").
+
+A periodic firing schedule assigns each transition an infinite binary
+word ``w`` (1 = fire this clock); the word is *balanced* (Sturmian)
+when any two factors of equal length carry numbers of 1s differing by
+at most one.  Balanced words of rational rate ``p/q`` are exactly the
+rotations of the *mechanical word*
+
+    m_k = floor((k + 1) * p / q) - floor(k * p / q),
+
+so a balanced periodic schedule is fully described by its rate and a
+per-transition rotation offset -- the closed form behind the
+``schedule`` measurement backend (:mod:`repro.schedule.oracle`).
+
+Everything here works on one period of the word, given as a sequence
+of booleans/0-1 ints, treated cyclically.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+__all__ = [
+    "word_rate",
+    "is_balanced",
+    "mechanical_word",
+    "word_offset",
+]
+
+
+def _bits(word: Iterable[object]) -> tuple[int, ...]:
+    return tuple(1 if b else 0 for b in word)
+
+
+def word_rate(word: Sequence[object]) -> Fraction:
+    """Ones density of one period: ``#1s / len`` as an exact Fraction."""
+    bits = _bits(word)
+    if not bits:
+        raise ValueError("empty word has no rate")
+    return Fraction(sum(bits), len(bits))
+
+
+def is_balanced(word: Sequence[object]) -> bool:
+    """Whether the periodic word is balanced: over the cyclic extension,
+    any two equal-length factors differ by at most one 1.
+
+    O(q^2) over the period length q via prefix sums -- the periods here
+    are hyperperiods of small marked graphs, not genome strings.
+    """
+    bits = _bits(word)
+    q = len(bits)
+    if q == 0:
+        raise ValueError("empty word")
+    doubled = bits + bits
+    prefix = [0]
+    for b in doubled:
+        prefix.append(prefix[-1] + b)
+    for length in range(1, q):
+        ones = [
+            prefix[start + length] - prefix[start] for start in range(q)
+        ]
+        if max(ones) - min(ones) > 1:
+            return False
+    return True
+
+
+def mechanical_word(
+    p: int, q: int, offset: int = 0, length: int | None = None
+) -> tuple[int, ...]:
+    """``length`` letters (default one period ``q``) of the lower
+    mechanical word of rate ``p/q`` rotated by ``offset``::
+
+        w_k = floor((k+1+offset) p / q) - floor((k+offset) p / q)
+
+    Mechanical words are balanced, and every balanced periodic word of
+    rate ``p/q`` is one of the ``q`` rotations -- the normal form the
+    schedule oracle reduces firing words to.
+    """
+    if q <= 0:
+        raise ValueError("period must be positive")
+    if not 0 <= p <= q:
+        raise ValueError(f"rate {p}/{q} outside [0, 1]")
+    n = q if length is None else length
+    return tuple(
+        (k + 1 + offset) * p // q - (k + offset) * p // q for k in range(n)
+    )
+
+
+def word_offset(word: Sequence[object]) -> int | None:
+    """The rotation offset exhibiting ``word`` as a mechanical word of
+    its own rate, or ``None`` when the word is not balanced.
+
+    ``word == mechanical_word(p, q, word_offset(word))`` whenever the
+    result is not None (with ``p/q 	= word_rate(word)`` *unreduced*:
+    the search runs over the word's own period length).
+    """
+    bits = _bits(word)
+    q = len(bits)
+    if q == 0:
+        raise ValueError("empty word")
+    p = sum(bits)
+    for offset in range(q):
+        if mechanical_word(p, q, offset) == bits:
+            return offset
+    return None

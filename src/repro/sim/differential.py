@@ -1,4 +1,4 @@
-"""Differential cross-validation of the three simulation backends.
+"""Differential cross-validation of the simulation backends.
 
 One system, three executions -- the vectorized kernel, the
 marked-graph :class:`~repro.lis.trace_sim.TraceSimulator`, and the
@@ -9,6 +9,13 @@ structural :class:`~repro.lis.rtl_sim.RtlSimulator` -- compared for
 * emitted data values (when behaviours are supplied),
 * measured throughput at a probe shell (exact ``Fraction`` equality),
 * peak queue occupancy per channel.
+
+The analytic ``schedule`` oracle (:mod:`repro.schedule`) is pinned to
+the same harness as a fourth voice: its closed-form firing plan,
+finite-horizon firing counts, and (once the horizon covers
+``transient + hyperperiod`` clocks) peak occupancies must equal the
+simulated ones *exactly* -- the oracle predicts the simulators, it
+does not approximate them.
 
 This is the harness behind the ``tests/sim`` differential properties;
 any discrepancy is reported with enough context to reproduce it.
@@ -32,13 +39,15 @@ BACKENDS = ("fast", "trace", "rtl")
 
 @dataclass
 class DifferentialReport:
-    """Outcome of one three-way comparison."""
+    """Outcome of one multi-way comparison."""
 
     agreed: bool
     failures: list[str] = field(default_factory=list)
     probe: Hashable | None = None
     throughput: dict[str, Fraction] = field(default_factory=dict)
     occupancy: dict[str, dict[int, int]] = field(default_factory=dict)
+    #: The analytic oracle, when ``check_schedule`` derived one.
+    schedule: "object | None" = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.agreed
@@ -61,6 +70,7 @@ def differential_check(
     extra_tokens: dict[int, int] | None = None,
     probe: Hashable | None = None,
     compare_values: bool = True,
+    check_schedule: bool = True,
 ) -> DifferentialReport:
     """Run all three backends on ``lis`` and compare cycle-exactly.
 
@@ -75,6 +85,11 @@ def differential_check(
             first shell).
         compare_values: Also require the emitted data values to match
             (forced off when ``behaviors`` is None).
+        check_schedule: Also derive the analytic schedule oracle and
+            require its per-node firing plan and finite-horizon counts
+            to equal the trace execution clock-for-clock (and, when
+            ``clocks`` covers the transient plus one hyperperiod, its
+            peak occupancies to equal the simulated ones exactly).
     """
     fast = FastSimulator(lis, _instantiate(behaviors), extra_tokens)
     trace_sim = TraceSimulator(lis, _instantiate(behaviors), extra_tokens)
@@ -116,10 +131,37 @@ def differential_check(
                 f"({occupancy[backend]} vs {occupancy['trace']})"
             )
 
+    oracle = None
+    if check_schedule:
+        from ..analysis import get_context
+
+        oracle = get_context(lis).schedule_oracle(extra_tokens)
+        for node in oracle.node_names:
+            if oracle.firing_plan(node, clocks) != reference.fired[node]:
+                failures.append(
+                    f"firing plan: schedule oracle != trace at {node!r}"
+                )
+        predicted = Fraction(oracle.firings(probe, clocks), clocks)
+        throughput["schedule"] = predicted
+        if predicted != reference.throughput(probe):
+            failures.append(
+                f"finite-horizon throughput at {probe!r}: schedule "
+                f"oracle predicts {predicted}, trace measured "
+                f"{reference.throughput(probe)}"
+            )
+        if clocks >= oracle.transient + oracle.hyperperiod:
+            occupancy["schedule"] = oracle.max_queue_occupancy()
+            if occupancy["schedule"] != occupancy["trace"]:
+                failures.append(
+                    f"max queue occupancy: schedule oracle != trace "
+                    f"({occupancy['schedule']} vs {occupancy['trace']})"
+                )
+
     return DifferentialReport(
         agreed=not failures,
         failures=failures,
         probe=probe,
         throughput=throughput,
         occupancy=occupancy,
+        schedule=oracle,
     )

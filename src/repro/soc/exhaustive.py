@@ -213,6 +213,7 @@ def run_exhaustive_insertion(
     simulate_clocks: int | None = None,
     simulate_warmup: int = 100,
     simulate_tolerance: Fraction = Fraction(1, 20),
+    simulate_backend: str = "fast",
     checkpoint=None,
     checkpoint_chunk: int = 16,
 ) -> ExhaustiveReport:
@@ -242,7 +243,13 @@ def run_exhaustive_insertion(
         simulate_warmup: Discarded leading cycles of each verification
             run.
         simulate_tolerance: Allowed |measured - analytic| gap (the
-            finite horizon makes measured rates O(1/clocks) off).
+            finite horizon makes measured rates O(1/clocks) off; with
+            the ``schedule`` backend the gap must be exactly zero, so
+            any tolerance works).
+        simulate_backend: ``"fast"`` (vectorized simulation, the
+            default) or ``"schedule"`` (the analytic oracle: exact
+            asymptotic rates, no clocks stepped -- ``simulate_clocks``
+            then only switches verification on).
         checkpoint: Optional checkpoint file path (or
             :class:`repro.engine.Checkpoint`): completed placements are
             journaled ``checkpoint_chunk`` at a time, and a re-run with
@@ -288,6 +295,7 @@ def run_exhaustive_insertion(
                 clocks=simulate_clocks,
                 warmup=simulate_warmup,
                 tolerance=simulate_tolerance,
+                backend=simulate_backend,
                 checkpoint=checkpoint,
                 checkpoint_chunk=checkpoint_chunk,
             )
@@ -319,12 +327,15 @@ def _verify_by_simulation(
     clocks: int,
     warmup: int,
     tolerance: Fraction,
+    backend: str = "fast",
     checkpoint=None,
     checkpoint_chunk: int = 16,
 ) -> dict:
-    """Empirically confirm the analytic degraded MSTs: simulate each
-    degraded placement through the ``simulate_batch`` op and compare
-    the measured common rate against ``PlacementResult.actual``."""
+    """Empirically confirm the analytic degraded MSTs: run each
+    degraded placement through the ``simulate_batch`` op (vectorized
+    simulation, or the analytic ``schedule`` oracle -- an independent
+    derivation of the same rate) and compare the measured common rate
+    against ``PlacementResult.actual``."""
     from ..core.serialize import lis_to_json
     from ..engine import run_checkpointed
 
@@ -338,7 +349,12 @@ def _verify_by_simulation(
             (
                 "simulate_batch",
                 lis_to_json(trial),
-                {"assignments": [{}], "clocks": clocks, "warmup": warmup},
+                {
+                    "assignments": [{}],
+                    "clocks": clocks,
+                    "warmup": warmup,
+                    "backend": backend,
+                },
             )
         )
     if checkpoint is not None:
@@ -366,5 +382,6 @@ def _verify_by_simulation(
         "clocks": clocks,
         "warmup": warmup,
         "tolerance": tolerance,
+        "backend": backend,
         "mismatches": mismatches,
     }

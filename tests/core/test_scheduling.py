@@ -93,6 +93,49 @@ def test_rate_of_empty_period_raises():
         schedule.rate("x")
 
 
+def test_firing_word_and_transient():
+    schedule = Schedule(
+        prefix=(frozenset({"x"}),),
+        period=(frozenset(), frozenset({"x"})),
+        peak_tokens={},
+    )
+    assert schedule.transient == 1
+    assert schedule.firing_word("x") == (0, 1)
+    assert schedule.firing_word("absent") == (0, 0)
+    # Density of the word is the rate; word tools accept it directly.
+    from repro.schedule.words import word_rate
+
+    assert word_rate(schedule.firing_word("x")) == schedule.rate("x")
+
+
+def test_schedule_lis_with_extra_tokens_matches_sized_mst():
+    from repro.core import size_queues
+
+    lis = fig15_lis()
+    fix = size_queues(lis, method="exact").extra_tokens
+    schedule = schedule_lis(lis, practical=True, extra_tokens=fix)
+    assert schedule.rate("A") == actual_mst(lis, fix).mst == Fraction(5, 6)
+
+
+def test_schedule_lis_rejects_extra_tokens_on_ideal_system():
+    with pytest.raises(ScheduleError, match="ideal"):
+        schedule_lis(fig15_lis(), practical=False, extra_tokens={0: 1})
+
+
+def test_schedule_words_agree_with_oracle():
+    """The pure-Python schedule and the compiled oracle recover the
+    same steady-state words and transient."""
+    from repro.schedule import derive_schedule
+
+    lis = fig15_lis()
+    schedule = schedule_lis(lis, practical=True)
+    oracle = derive_schedule(lis)
+    assert schedule.transient == oracle.transient
+    assert schedule.hyperperiod == oracle.hyperperiod
+    for shell in lis.shells():
+        assert schedule.firing_word(shell) == oracle.firing_word(shell)
+
+
 def test_simulation_driven_sizing_restores_fig1():
     lis = fig1_lis()
     sizes = simulation_driven_sizing(lis)

@@ -96,11 +96,15 @@ def test_rtl_extra_tokens_grow_queues():
     assert abs(sim.throughput("A", skip=20) - Fraction(5, 6)) < Fraction(1, 40)
 
 
-def test_unknown_simulator_name_rejected():
+def test_unknown_backend_name_rejected():
     from repro.lis import measured_throughput
 
-    with pytest.raises(ValueError):
-        measured_throughput(fig1_lis(), "A", simulator="verilog")
+    with pytest.raises(ValueError, match="unknown backend"):
+        measured_throughput(fig1_lis(), "A", backend="verilog")
+    # The deprecated alias still routes through the same validation.
+    with pytest.warns(DeprecationWarning, match="simulator="):
+        with pytest.raises(ValueError, match="unknown backend"):
+            measured_throughput(fig1_lis(), "A", simulator="verilog")
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,91 @@
+"""Balanced binary words: mechanical-word normal forms and checks."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.schedule import is_balanced, mechanical_word, word_offset, word_rate
+
+
+def test_word_rate_exact_fraction():
+    assert word_rate((1, 0, 1, 1)) == Fraction(3, 4)
+    assert word_rate([True, False]) == Fraction(1, 2)
+    assert word_rate((0, 0)) == 0
+    assert word_rate((1,)) == 1
+
+
+def test_empty_word_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        word_rate(())
+    with pytest.raises(ValueError, match="empty"):
+        is_balanced(())
+    with pytest.raises(ValueError, match="empty"):
+        word_offset(())
+
+
+def test_balanced_examples():
+    assert is_balanced((1, 0, 1, 0, 1))  # rate 3/5 Sturmian period
+    assert is_balanced((1, 1, 1, 0))
+    assert is_balanced((0, 0, 0))
+    assert is_balanced((1, 1))
+    # Two 1s adjacent and two 0s adjacent at rate 1/2: unbalanced.
+    assert not is_balanced((1, 1, 0, 0))
+    assert not is_balanced((1, 1, 0, 1, 0, 0))
+
+
+def test_mechanical_word_validation():
+    with pytest.raises(ValueError, match="period"):
+        mechanical_word(1, 0)
+    with pytest.raises(ValueError, match="outside"):
+        mechanical_word(5, 4)
+    with pytest.raises(ValueError, match="outside"):
+        mechanical_word(-1, 4)
+
+
+def test_mechanical_word_basics():
+    assert mechanical_word(0, 3) == (0, 0, 0)
+    assert mechanical_word(3, 3) == (1, 1, 1)
+    assert mechanical_word(3, 4) == (0, 1, 1, 1)
+    assert mechanical_word(3, 4, length=8) == (0, 1, 1, 1, 0, 1, 1, 1)
+
+
+@given(
+    p=st.integers(min_value=0, max_value=12),
+    q=st.integers(min_value=1, max_value=12),
+    offset=st.integers(min_value=0, max_value=11),
+)
+def test_mechanical_words_are_balanced_at_stated_rate(p, q, offset):
+    if p > q:
+        p, q = q, p
+    word = mechanical_word(p, q, offset)
+    assert len(word) == q
+    assert word_rate(word) == Fraction(p, q)
+    assert is_balanced(word)
+
+
+@given(
+    p=st.integers(min_value=0, max_value=10),
+    q=st.integers(min_value=1, max_value=10),
+    offset=st.integers(min_value=0, max_value=9),
+)
+def test_word_offset_round_trips_mechanical_words(p, q, offset):
+    if p > q:
+        p, q = q, p
+    word = mechanical_word(p, q, offset)
+    found = word_offset(word)
+    assert found is not None
+    assert mechanical_word(p, q, found) == word
+
+
+def test_word_offset_none_for_unbalanced():
+    assert word_offset((1, 1, 0, 0)) is None
+
+
+def test_rotations_of_balanced_word_stay_balanced():
+    word = mechanical_word(2, 5)
+    for r in range(5):
+        rotated = word[r:] + word[:r]
+        assert is_balanced(rotated)
+        assert word_offset(rotated) is not None

@@ -101,10 +101,10 @@ def test_measured_throughput_converges_to_mst(seed, v):
     )
     probe = lis.shells()[0]
     fast = measured_throughput(
-        lis, probe, clocks=400, warmup=100, simulator="fast"
+        lis, probe, clocks=400, warmup=100, backend="fast"
     )
     trace = measured_throughput(
-        lis, probe, clocks=400, warmup=100, simulator="trace"
+        lis, probe, clocks=400, warmup=100, backend="trace"
     )
     assert fast == trace
     assert abs(fast - actual_mst(lis).mst) <= Fraction(1, 20)
