@@ -49,6 +49,10 @@ Subpackages:
   harness and chaos campaigns across all three simulators.
 * :mod:`repro.experiments` -- shared experiment harness used by the
   ``benchmarks/`` suite.
+* :mod:`repro.stochastic` -- stochastic stall/arrival processes, the
+  vectorized Monte-Carlo tail estimator, analytic tail quantiles
+  (exact under global modulated service), and tail-vs-queue-sizing
+  curves (``repro tail``).
 """
 
 from .core import (
@@ -90,7 +94,7 @@ from .faults import (
     check_invariants,
     run_campaign,
 )
-from .gen import GeneratorConfig, generate_lis
+from .gen import GeneratorConfig, generate_lis, mesh_lis, torus_lis
 from .lis import (
     Backend,
     RtlSimulator,
@@ -103,13 +107,26 @@ from .lis import (
     register_backend,
     simulate_trace,
 )
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
-# The vectorized backend and the schedule oracle need numpy, which is
-# an optional dependency; resolve their names lazily so `import repro`
-# works without it.
+# The vectorized backend, the schedule oracle and the stochastic layer
+# need numpy, which is an optional dependency; resolve their names
+# lazily so `import repro` works without it.
 _SIM_EXPORTS = {"BatchSimulator", "FastSimulator", "simulate_fast"}
 _SCHEDULE_EXPORTS = {"ScheduleOracle", "derive_schedule"}
+_STOCHASTIC_EXPORTS = {
+    "MonteCarloResult",
+    "StochasticSpec",
+    "TailCurve",
+    "TailEstimate",
+    "arrival_envelope",
+    "bernoulli_stalls",
+    "burst_stalls",
+    "estimate_tails",
+    "periodic_stalls",
+    "run_monte_carlo",
+    "tail_curve",
+}
 
 
 def __getattr__(name):
@@ -121,6 +138,10 @@ def __getattr__(name):
         from . import schedule
 
         return getattr(schedule, name)
+    if name in _STOCHASTIC_EXPORTS:
+        from . import stochastic
+
+        return getattr(stochastic, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -138,11 +159,15 @@ __all__ = [
     "GeneratorConfig",
     "LisGraph",
     "MarkedGraph",
+    "MonteCarloResult",
     "QsSolution",
     "RtlSimulator",
     "ScheduleOracle",
     "ShellBehavior",
     "Solver",
+    "StochasticSpec",
+    "TailCurve",
+    "TailEstimate",
     "TdKernel",
     "ThroughputResult",
     "TopologyClass",
@@ -150,15 +175,19 @@ __all__ = [
     "actual_mst",
     "analyze",
     "analyze_many",
+    "arrival_envelope",
     "available_backends",
     "available_solvers",
+    "bernoulli_stalls",
     "build_schedule",
+    "burst_stalls",
     "check_invariants",
     "classify_topology",
     "compile_td",
     "crossvalidate",
     "degradation_ratio",
     "derive_schedule",
+    "estimate_tails",
     "fixed_qs_mst",
     "generate_lis",
     "get_backend",
@@ -166,15 +195,20 @@ __all__ = [
     "get_solver",
     "ideal_mst",
     "measured_throughput",
+    "mesh_lis",
     "minimal_fixed_q",
     "mst",
+    "periodic_stalls",
     "register_backend",
     "register_solver",
     "run_campaign",
     "run_checkpointed",
+    "run_monte_carlo",
     "simulate_fast",
     "simulate_trace",
     "size_queues",
     "solve_exact_portfolio",
+    "tail_curve",
+    "torus_lis",
     "__version__",
 ]

@@ -16,7 +16,11 @@ Gives the library's analysis pipeline a shell-scriptable surface:
 * ``chaos``    -- seeded fault-injection campaign through the
   invariant harness (:mod:`repro.faults`), optionally with
   engine-level chaos (killed/hung workers); exits non-zero on any
-  invariant violation.
+  invariant violation;
+* ``tail``     -- stochastic tail-latency curves
+  (:mod:`repro.stochastic`): p50/p99/p999 completion time vs queue
+  sizing under a seeded stall/arrival process, Monte-Carlo
+  cross-checked against the analytic estimate.
 
 LIS descriptions use the JSON format of :mod:`repro.core.serialize`.
 """
@@ -156,6 +160,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-readable report on stdout",
     )
 
+    tail = sub.add_parser(
+        "tail",
+        help="stochastic tail-latency curves (p50/p99/p999 vs sizing)",
+    )
+    tail.add_argument(
+        "--system",
+        default="fig15",
+        metavar="NAME|FILE",
+        help="fig15, cofdm, fig19, mesh:RxC, torus:RxC, another example "
+        "name, or a LIS JSON file (default: fig15)",
+    )
+    tail.add_argument(
+        "--kind",
+        choices=("bernoulli", "burst", "periodic", "arrival"),
+        default="bernoulli",
+        help="stall/service process ('arrival' = bursty source "
+        "envelope from --rho/--sigma)",
+    )
+    tail.add_argument(
+        "--scope",
+        choices=("all", "global", "sources", "sinks"),
+        default="global",
+        help="which nodes the process gates (default: global -- the "
+        "scope with exact analytic tails)",
+    )
+    tail.add_argument("--rate", type=float, default=0.1,
+                      help="Bernoulli stall probability (default 0.1)")
+    tail.add_argument("--burst", type=float, default=4.0,
+                      help="mean/exact stalled-run clocks (default 4)")
+    tail.add_argument("--gap", type=float, default=12.0,
+                      help="mean/exact clear-run clocks (default 12)")
+    tail.add_argument("--rho", type=float, default=0.75,
+                      help="arrival long-run rate for --kind arrival")
+    tail.add_argument("--sigma", type=float, default=4.0,
+                      help="arrival burst size for --kind arrival")
+    tail.add_argument("--seed", type=int, default=0)
+    tail.add_argument("--clocks", type=int, default=600)
+    tail.add_argument("--trials", type=int, default=200)
+    tail.add_argument(
+        "--max-extra",
+        type=int,
+        default=3,
+        help="uniform sizing ladder: 0..N extra slots per channel "
+        "(default 3)",
+    )
+    tail.add_argument("--node", default=None,
+                      help="reference shell (default: the slowest)")
+    tail.add_argument("--work", type=int, default=None,
+                      help="completion firing target (default: auto)")
+    tail.add_argument(
+        "--no-analytic",
+        action="store_true",
+        help="skip the analytic estimate and cross-check",
+    )
+    tail.add_argument("--jobs", type=int, default=None)
+    tail.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="analysis-engine result cache directory",
+    )
+    tail.add_argument("--json", action="store_true",
+                      help="machine-readable curve on stdout")
+
     from .core.solvers import available_solvers
 
     size = sub.add_parser("size", help="queue sizing")
@@ -172,8 +238,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="throughput to restore, e.g. 5/6 (default: the ideal MST)",
     )
 
-    gen = sub.add_parser("generate", help="random LIS (Section VIII)")
+    gen = sub.add_parser(
+        "generate", help="random LIS (Section VIII) or a mesh/torus NoC"
+    )
     gen.add_argument("-o", "--output", required=True)
+    gen.add_argument(
+        "--topology",
+        choices=("random", "mesh", "torus"),
+        default="random",
+        help="random (the paper's Section VIII generator, default) or "
+        "a --rows x --cols mesh/torus NoC",
+    )
+    gen.add_argument("--rows", type=int, default=4,
+                     help="mesh/torus rows (default 4)")
+    gen.add_argument("--cols", type=int, default=4,
+                     help="mesh/torus columns (default 4)")
     gen.add_argument("--vertices", type=int, default=50)
     gen.add_argument("--sccs", type=int, default=5)
     gen.add_argument("--cycles", type=int, default=5)
@@ -357,8 +436,9 @@ def _cmd_stats(args) -> int:
     return 0
 
 
-def _resolve_chaos_system(name: str):
-    """An example name, ``cofdm``/``fig19``, or a LIS JSON file path."""
+def _resolve_system(name: str):
+    """An example name, ``cofdm``/``fig19``, a ``mesh:RxC`` /
+    ``torus:RxC`` NoC spec, or a LIS JSON file path."""
     if name in EXAMPLES:
         return EXAMPLES[name]()
     if name == "cofdm":
@@ -369,6 +449,17 @@ def _resolve_chaos_system(name: str):
         from .soc import fig19_scenario
 
         return fig19_scenario()
+    for prefix, torus in (("mesh:", False), ("torus:", True)):
+        if name.startswith(prefix):
+            rows, _, cols = name[len(prefix):].partition("x")
+            try:
+                return _generator.mesh_lis(
+                    int(rows), int(cols), torus=torus
+                )
+            except (ValueError, _generator.GeneratorError) as exc:
+                raise ValueError(
+                    f"bad NoC spec {name!r} (want e.g. {prefix}4x4): {exc}"
+                ) from None
     return load_lis(name)
 
 
@@ -389,8 +480,8 @@ def _cmd_chaos(args) -> int:
             )
             return 2
     try:
-        lis = _resolve_chaos_system(args.system)
-    except OSError as exc:
+        lis = _resolve_system(args.system)
+    except (OSError, ValueError) as exc:
         print(f"error: cannot load system: {exc}", file=sys.stderr)
         return 2
     report = run_campaign(
@@ -432,6 +523,115 @@ def _cmd_chaos(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_tail(args) -> int:
+    import json as _json
+
+    from .engine import AnalysisEngine
+    from .stochastic import StochasticSpec, arrival_envelope, quantile_name
+
+    try:
+        lis = _resolve_system(args.system)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load system: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.kind == "arrival":
+            spec = arrival_envelope(args.rho, args.sigma, seed=args.seed)
+        else:
+            spec = StochasticSpec(
+                args.kind,
+                scope=args.scope,
+                rate=args.rate,
+                burst=args.burst,
+                gap=args.gap,
+                seed=args.seed,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    options = {
+        "specs": [spec.as_dict()],
+        "clocks": args.clocks,
+        "trials": args.trials,
+        "max_extra": args.max_extra,
+        "analytic": not args.no_analytic,
+    }
+    if args.node is not None:
+        options["node"] = args.node
+    if args.work is not None:
+        options["work"] = args.work
+    with AnalysisEngine(jobs=args.jobs, cache_dir=args.cache) as engine:
+        (curve,) = engine.run([("tail_curves", lis, options)])
+    if args.json:
+        payload = dict(curve)
+        payload["system"] = args.system
+        print(_json.dumps(payload, sort_keys=True))
+        return 0
+    names = [quantile_name(q) for q in curve["quantiles"]]
+    print(f"system: {args.system}")
+    print(
+        f"spec:   {spec.kind}/{spec.scope}"
+        f" (stall fraction {spec.stall_fraction:.3f}, seed {spec.seed})"
+    )
+    print(
+        f"node:   {curve['node']}  work: {curve['work']} firings  "
+        f"clocks: {curve['clocks']}  trials: {curve['trials']}"
+    )
+    header = (
+        f"{'extra':>6} " + " ".join(f"{n:>8}" for n in names)
+        + f" {'an.p99':>8} {'occ.p99':>8} {'rate':>8} {'check':>6}"
+    )
+    print(header)
+
+    def _cell(value) -> str:
+        return "inf" if value is None else f"{value:g}"
+
+    agreed = True
+    any_exact = False
+    for point in curve["points"]:
+        extra_total = sum(point["extra_tokens"].values())
+        completion = point["completion"]
+        cells = [_cell(completion.get(n)) for n in names]
+        analytic = "-"
+        estimate = point.get("analytic")
+        if estimate is not None and "p99" in estimate["completion"]:
+            analytic = _cell(estimate["completion"]["p99"])
+        occ = _cell(point["occupancy"].get("p99"))
+        rate = point["throughput"]["mean"]
+        check = point.get("agreement")
+        verdict = "-"
+        if check is not None:
+            if not check["exact"]:
+                # Effective-bandwidth estimates are bounds, not
+                # quantiles; report but never fail on them.
+                verdict = "bound"
+            else:
+                verdict = "ok" if check["ok"] else "OFF"
+                agreed = agreed and check["ok"]
+                any_exact = True
+        print(
+            f"{extra_total:>6} " + " ".join(f"{c:>8}" for c in cells)
+            + f" {analytic:>8} {occ:>8} {rate:>8.4f} {verdict:>6}"
+        )
+    if not args.no_analytic:
+        if not any_exact:
+            print(
+                "cross-check: effective-bandwidth bounds only "
+                "(no exact analytic path for this spec)"
+            )
+        elif agreed:
+            print(
+                "cross-check: exact analytic estimates inside every "
+                "MC confidence band"
+            )
+        else:
+            print(
+                "cross-check: MISMATCH -- exact analytic estimate "
+                "left the MC band"
+            )
+    return 0 if args.no_analytic or agreed else 1
+
+
 def _cmd_size(args) -> int:
     from .analysis import get_context
 
@@ -460,6 +660,27 @@ def _cmd_size(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    if args.topology in ("mesh", "torus"):
+        try:
+            lis = _generator.mesh_lis(
+                args.rows,
+                args.cols,
+                queue=args.queue,
+                torus=args.topology == "torus",
+                relays=args.relays,
+                seed=args.seed or 0,
+            )
+        except _generator.GeneratorError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        save_lis(lis, args.output)
+        print(
+            f"wrote {args.output}: {args.rows}x{args.cols} {args.topology}, "
+            f"{lis.system.number_of_nodes()} shells, "
+            f"{len(lis.channels())} channels, "
+            f"{lis.total_relays()} relay stations"
+        )
+        return 0
     config = _generator.GeneratorConfig(
         v=args.vertices,
         s=args.sccs,
@@ -661,6 +882,7 @@ _COMMANDS = {
     "dot": _cmd_dot,
     "stats": _cmd_stats,
     "chaos": _cmd_chaos,
+    "tail": _cmd_tail,
 }
 
 

@@ -454,6 +454,108 @@ def _op_fault_trial(ctx: Context, options: dict):
     }
 
 
+def _parse_stochastic_options(options: dict):
+    """Shared option parsing of the two stochastic ops: specs, horizon
+    and quantile levels (all JSON-able, per the op contract)."""
+    from ..stochastic import StochasticSpec
+
+    specs = [StochasticSpec.from_dict(d) for d in options["specs"]]
+    clocks = int(options.get("clocks", 600))
+    trials = int(options.get("trials", 200))
+    quantiles = tuple(
+        float(q) for q in options.get("quantiles", (0.5, 0.99, 0.999))
+    )
+    return specs, clocks, trials, quantiles
+
+
+def _op_tail_point(ctx: Context, options: dict):
+    """One Monte-Carlo + analytic tail estimate at a single queue
+    sizing (:mod:`repro.stochastic`).
+
+    Options: ``specs`` (list of :meth:`StochasticSpec.as_dict` dicts,
+    required), ``clocks`` (default 600), ``trials`` (default 200),
+    ``warmup``, ``extra_tokens``, ``node`` (shell name; default the
+    slowest shell), ``work`` (completion firing target),
+    ``quantiles`` (default p50/p99/p999), ``analytic`` (default True).
+    Returns the Monte-Carlo summary plus, when requested, the analytic
+    estimate and the :func:`repro.stochastic.agreement` cross-check.
+    """
+    from ..stochastic import agreement, estimate_tails, run_monte_carlo
+
+    specs, clocks, trials, quantiles = _parse_stochastic_options(options)
+    extra = {
+        int(c): int(x)
+        for c, x in (options.get("extra_tokens") or {}).items()
+    }
+    node = options.get("node")
+    work = options.get("work")
+    mc = run_monte_carlo(
+        ctx,
+        specs,
+        clocks=clocks,
+        trials=trials,
+        warmup=int(options.get("warmup", 0)),
+        extra_tokens=extra,
+        node=node,
+        work=None if work is None else int(work),
+    )
+    result = mc.summary(quantiles)
+    if options.get("analytic", True):
+        estimate = estimate_tails(
+            ctx,
+            specs,
+            clocks=clocks,
+            node=mc.node,
+            work=mc.work,
+            quantiles=quantiles,
+            extra_tokens=extra,
+        )
+        result["analytic"] = estimate.as_dict()
+        result["agreement"] = agreement(mc, estimate, quantiles)
+    return result, {
+        "solver_calls": 0,
+        "simulated_cycles": clocks * trials,
+    }
+
+
+def _op_tail_curves(ctx: Context, options: dict):
+    """A full p50/p99/p999-vs-queue-sizing curve
+    (:func:`repro.stochastic.tail_curve`).
+
+    Options as :func:`tail_point` plus ``sizings`` (list of
+    ``{channel id: extra}``; default the uniform ladder of
+    :func:`~repro.stochastic.uniform_sizings` up to ``max_extra``,
+    default 3).  Returns :meth:`TailCurve.as_dict`.
+    """
+    from ..stochastic import tail_curve, uniform_sizings
+
+    specs, clocks, trials, quantiles = _parse_stochastic_options(options)
+    sizings = options.get("sizings")
+    if sizings is None:
+        sizings = uniform_sizings(ctx, int(options.get("max_extra", 3)))
+    else:
+        sizings = [
+            {int(c): int(x) for c, x in s.items()} for s in sizings
+        ]
+    work = options.get("work")
+    curve = tail_curve(
+        ctx,
+        specs,
+        clocks=clocks,
+        trials=trials,
+        sizings=sizings,
+        quantiles=quantiles,
+        node=options.get("node"),
+        work=None if work is None else int(work),
+        warmup=int(options.get("warmup", 0)),
+        analytic=options.get("analytic", True),
+    )
+    return curve.as_dict(), {
+        "solver_calls": 0,
+        "simulated_cycles": clocks * trials * len(sizings),
+    }
+
+
 def _op_chaos_probe(ctx: Context, options: dict):
     """Engine-level chaos: deliberately misbehave inside a worker.
 
@@ -495,4 +597,6 @@ register_op("td_probe", _op_td_probe)
 register_op("exhaustive_placement", _op_exhaustive_placement)
 register_op("simulate_batch", _op_simulate_batch)
 register_op("fault_trial", _op_fault_trial)
+register_op("tail_point", _op_tail_point)
+register_op("tail_curves", _op_tail_curves)
 register_op("chaos_probe", _op_chaos_probe)

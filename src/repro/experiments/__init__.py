@@ -6,6 +6,7 @@ from .runners import (
     fig16_mst_degradation,
     fig17_fixed_queue_recovery,
     table4_exact_vs_heuristic,
+    tail_latency_curves,
 )
 from .tables import (
     format_cell,
@@ -23,6 +24,7 @@ __all__ = [
     "fig16_mst_degradation",
     "fig17_fixed_queue_recovery",
     "table4_exact_vs_heuristic",
+    "tail_latency_curves",
     "format_cell",
     "render_table",
     "results_dir",

@@ -27,6 +27,7 @@ __all__ = [
     "fig17_fixed_queue_recovery",
     "Table4Row",
     "table4_exact_vs_heuristic",
+    "tail_latency_curves",
 ]
 
 
@@ -162,6 +163,60 @@ def fig17_fixed_queue_recovery(
         for q in q_values:
             totals[q] += float(sweep[str(q)] / ideal)
     return {q: total / trials for q, total in totals.items()}
+
+
+def tail_latency_curves(
+    systems: dict | None = None,
+    specs: list[dict] | None = None,
+    clocks: int = 600,
+    trials: int = 200,
+    max_extra: int = 3,
+    quantiles: tuple[float, ...] = (0.5, 0.99, 0.999),
+    jobs: int | str | None = None,
+    cache_dir=None,
+    engine: AnalysisEngine | None = None,
+    checkpoint=None,
+    checkpoint_chunk: int = 1,
+) -> dict[str, dict]:
+    """Tail-vs-queue-sizing curves over a set of systems (the
+    ``bench_tail_curves`` deliverable).
+
+    ``systems`` maps name -> LIS (default: fig15, the COFDM
+    transmitter, and a 4x4 mesh NoC); ``specs`` is a list of
+    :meth:`~repro.stochastic.StochasticSpec.as_dict` dicts (default: a
+    10% global Bernoulli service modulation).  Each (system, sizing
+    ladder) pair runs as one ``tail_curves`` engine task -- one kernel
+    batch of ``(max_extra + 1) * trials`` configurations -- and the
+    returned ``{name: TailCurve.as_dict()}`` is deterministic in the
+    spec seeds.  ``checkpoint`` journals completed systems for crash
+    resume.
+    """
+    if systems is None:
+        from ..gen.examples import fig15_lis
+        from ..gen.generator import mesh_lis
+        from ..soc import cofdm_transmitter
+
+        systems = {
+            "fig15": fig15_lis(),
+            "cofdm": cofdm_transmitter(),
+            "mesh4x4": mesh_lis(4, 4),
+        }
+    if specs is None:
+        from ..stochastic import bernoulli_stalls
+
+        specs = [bernoulli_stalls(rate=0.1, scope="global").as_dict()]
+    names = list(systems)
+    options = {
+        "specs": specs,
+        "clocks": clocks,
+        "trials": trials,
+        "max_extra": max_extra,
+        "quantiles": list(quantiles),
+    }
+    tasks = [("tail_curves", systems[name], options) for name in names]
+    with _engine_for(engine, jobs, cache_dir) as eng:
+        curves = _run_tasks(eng, tasks, checkpoint, checkpoint_chunk)
+    return dict(zip(names, curves))
 
 
 @dataclass

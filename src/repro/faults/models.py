@@ -55,6 +55,8 @@ __all__ = [
     "FaultSchedule",
     "build_schedule",
     "structural_nodes",
+    "source_shells",
+    "sink_shells",
     "default_behaviors",
     "random_stalls",
     "bursty_stalls",
@@ -199,6 +201,24 @@ def structural_nodes(lis: LisGraph) -> list[Hashable]:
     return sorted(nodes, key=repr)
 
 
+def source_shells(lis: LisGraph) -> list[Hashable]:
+    """Environment sources (shells with no system in-edges), repr-
+    sorted; the whole shell set when the system has none.  Shared
+    target rule of ``void-storm`` faults and ``scope="sources"``
+    stochastic specs."""
+    shells = list(lis.shells())
+    sources = [s for s in shells if not list(lis.system.in_edges(s))]
+    return sorted(sources or shells, key=repr)
+
+
+def sink_shells(lis: LisGraph) -> list[Hashable]:
+    """Environment sinks (shells with no system out-edges), repr-
+    sorted; the whole shell set when the system has none."""
+    shells = list(lis.shells())
+    sinks = [s for s in shells if not list(lis.system.out_edges(s))]
+    return sorted(sinks or shells, key=repr)
+
+
 def _rng(spec: FaultSpec, salt: str = "") -> random.Random:
     return random.Random(f"repro-faults:{spec.kind}:{spec.seed}:{salt}")
 
@@ -226,13 +246,9 @@ def _targets(lis: LisGraph, spec: FaultSpec) -> list[Hashable]:
                 return chosen
         return nodes
     if spec.kind == "void-storm":
-        shells = list(lis.shells())
-        sources = [s for s in shells if not list(lis.system.in_edges(s))]
-        return sorted(sources or shells, key=repr)
+        return source_shells(lis)
     if spec.kind == "stop-glitch":
-        shells = list(lis.shells())
-        sinks = [s for s in shells if not list(lis.system.out_edges(s))]
-        return sorted(sinks or shells, key=repr)
+        return sink_shells(lis)
     # relay-jitter
     return [
         n

@@ -1,7 +1,13 @@
 """Synthetic LIS generation: random topologies (Section VIII) and the
 named examples from the paper's figures."""
 
-from .generator import GeneratorConfig, GeneratorError, generate_lis
+from .generator import (
+    GeneratorConfig,
+    GeneratorError,
+    generate_lis,
+    mesh_lis,
+    torus_lis,
+)
 from .examples import (
     fig1_lis,
     fig2_left_lis,
@@ -17,6 +23,8 @@ __all__ = [
     "GeneratorConfig",
     "GeneratorError",
     "generate_lis",
+    "mesh_lis",
+    "torus_lis",
     "fig1_lis",
     "fig2_left_lis",
     "fig2_right_lis",

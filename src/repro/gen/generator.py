@@ -28,7 +28,13 @@ from dataclasses import dataclass, field
 
 from ..core.lis_graph import LisGraph
 
-__all__ = ["GeneratorConfig", "generate_lis", "GeneratorError"]
+__all__ = [
+    "GeneratorConfig",
+    "generate_lis",
+    "GeneratorError",
+    "mesh_lis",
+    "torus_lis",
+]
 
 
 class GeneratorError(Exception):
@@ -168,6 +174,85 @@ def _connect_sccs(
         dst = rng.choice(groups[b])
         created.append(lis.add_channel(src, dst))
     return created
+
+
+def mesh_lis(
+    rows: int,
+    cols: int,
+    queue: int = 1,
+    torus: bool = False,
+    relays: int = 0,
+    queue_choices: list[int] | None = None,
+    seed: int | None = 0,
+) -> LisGraph:
+    """A ``rows x cols`` mesh NoC as a LIS: one shell per router
+    (named ``m{r}_{c}``), one channel per directed link between
+    4-neighbours, optionally wrapped into a torus.
+
+    The workload axis this feeds (:mod:`repro.stochastic`) follows the
+    wormhole-NoC buffer analyses: ``queue_choices`` draws each link's
+    queue capacity from a list (heterogeneous per-channel buffers)
+    and ``relays`` sprinkles relay stations over random links (long
+    wires segmented for frequency).  Both draws -- the only
+    randomness -- flow through ``seed``, so equal parameters give
+    fingerprint-identical systems (pinned by the seed-stability
+    suite).  Wrap links are skipped along a dimension shorter than 3,
+    where they would duplicate an existing link or form a self-loop.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise GeneratorError("mesh needs at least two routers")
+    if relays < 0:
+        raise GeneratorError("relays must be non-negative")
+    if queue < 1 or (queue_choices is not None and min(queue_choices) < 1):
+        raise GeneratorError("queue capacities must be >= 1")
+    rng = random.Random(seed)
+    lis = LisGraph(default_queue=queue)
+    for r in range(rows):
+        for c in range(cols):
+            lis.add_shell(f"m{r}_{c}")
+    channels: list[int] = []
+
+    def link(a: str, b: str) -> None:
+        channels.append(lis.add_channel(a, b))
+        channels.append(lis.add_channel(b, a))
+
+    for r in range(rows):
+        for c in range(cols):
+            here = f"m{r}_{c}"
+            if c + 1 < cols:
+                link(here, f"m{r}_{c + 1}")
+            elif torus and cols >= 3:
+                link(here, f"m{r}_0")
+            if r + 1 < rows:
+                link(here, f"m{r + 1}_{c}")
+            elif torus and rows >= 3:
+                link(here, f"m0_{c}")
+    if queue_choices:
+        for cid in channels:
+            lis.set_queue(cid, rng.choice(queue_choices))
+    for _ in range(relays):
+        lis.insert_relay(rng.choice(channels))
+    return lis
+
+
+def torus_lis(
+    rows: int,
+    cols: int,
+    queue: int = 1,
+    relays: int = 0,
+    queue_choices: list[int] | None = None,
+    seed: int | None = 0,
+) -> LisGraph:
+    """:func:`mesh_lis` with wrap-around links (``torus=True``)."""
+    return mesh_lis(
+        rows,
+        cols,
+        queue=queue,
+        torus=True,
+        relays=relays,
+        queue_choices=queue_choices,
+        seed=seed,
+    )
 
 
 def generate_lis(config: GeneratorConfig) -> LisGraph:

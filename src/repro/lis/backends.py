@@ -22,6 +22,10 @@ hardcoded:
 * ``exact`` -- the returned rate is the exact asymptotic ``Fraction``
   (no O(1/clocks) horizon error), so cross-validation may demand exact
   equality with the analytic MST.
+* ``vectorized`` -- the backend runs on the compiled batch kernel and
+  can evaluate many configurations (or Monte-Carlo trials) per compile;
+  :mod:`repro.stochastic` requires this flag to push trials through as
+  the batch axis.
 * ``requires_scc`` -- the backend needs the doubled marked graph to be
   strongly connected (equivalently: the LIS weakly connected).
 * ``fallback`` -- the backend to substitute when a capability check
@@ -61,6 +65,7 @@ class Backend:
     supports_faults: bool = False
     supports_values: bool = False
     exact: bool = False
+    vectorized: bool = False
     requires_scc: bool = False
     fallback: str | None = None
 
@@ -127,6 +132,7 @@ def register_backend(
     supports_faults: bool = False,
     supports_values: bool = False,
     exact: bool = False,
+    vectorized: bool = False,
     requires_scc: bool = False,
     fallback: str | None = None,
     overwrite: bool = False,
@@ -143,6 +149,7 @@ def register_backend(
         supports_faults=supports_faults,
         supports_values=supports_values,
         exact=exact,
+        vectorized=vectorized,
         requires_scc=requires_scc,
         fallback=fallback,
     )
@@ -259,6 +266,7 @@ register_backend(
     description="vectorized numpy kernel (cycle-exact, token counting)",
     supports_faults=True,
     supports_values=True,
+    vectorized=True,
 )
 register_backend(
     "schedule",

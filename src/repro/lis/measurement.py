@@ -9,7 +9,6 @@ cross-validation properties and the ``sim_xval`` benchmark.
 
 from __future__ import annotations
 
-import warnings
 from fractions import Fraction
 from typing import Hashable
 
@@ -80,21 +79,15 @@ def measured_throughput(
     reuses its cached lowering / compiled arrays (and the ``schedule``
     oracle is memoized outright).
 
-    .. deprecated:: 1.6
-        The ``simulator=`` keyword: use ``backend=`` (same values).
+    The ``simulator=`` keyword was deprecated in 1.6 and removed in
+    1.7; passing it raises ``TypeError`` pointing at ``backend=``.
     """
     if simulator is not None:
-        if backend is not None:
-            raise TypeError(
-                "pass backend= only (simulator= is its deprecated alias)"
-            )
-        warnings.warn(
-            "the simulator= keyword of measured_throughput() is "
-            "deprecated; use backend=",
-            DeprecationWarning,
-            stacklevel=2,
+        raise TypeError(
+            "measured_throughput() no longer accepts simulator= "
+            "(removed in 1.7 after deprecation in 1.6); "
+            "use backend= (same values)"
         )
-        backend = simulator
     chosen = resolve_backend(backend or "trace", lis, faults=faults)
     return chosen.measure(
         lis,

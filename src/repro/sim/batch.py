@@ -140,10 +140,13 @@ class BatchSimulator:
         """Advance every configuration ``clocks`` cycles; firing counts
         are accumulated after the first ``warmup`` cycles.
 
-        ``stall_mask`` is an optional ``(clocks, n_nodes)`` boolean
-        fault schedule (True = clock-gate that node on that step; see
-        :mod:`repro.faults`), applied identically to every
-        configuration in the batch.
+        ``stall_mask`` is an optional boolean fault schedule (True =
+        clock-gate that node on that step).  Shape ``(clocks,
+        n_nodes)`` applies one schedule to every configuration in the
+        batch (:mod:`repro.faults`); shape ``(clocks, B, n_nodes)``
+        gives every configuration its own schedule -- the form
+        :mod:`repro.stochastic` uses to run Monte-Carlo trials as the
+        batch axis.
         """
         if clocks <= 0:
             raise ValueError("clocks must be positive")
@@ -152,11 +155,15 @@ class BatchSimulator:
         compiled = self.compiled
         if stall_mask is not None:
             stall_mask = np.asarray(stall_mask, dtype=bool)
-            if stall_mask.shape != (clocks, compiled.n_nodes):
+            allowed = (
+                (clocks, compiled.n_nodes),
+                (clocks, len(self.assignments), compiled.n_nodes),
+            )
+            if stall_mask.shape not in allowed:
                 raise ValueError(
                     "stall_mask must have shape (clocks, n_nodes) = "
-                    f"({clocks}, {compiled.n_nodes}), got "
-                    f"{stall_mask.shape}"
+                    f"{allowed[0]} or (clocks, B, n_nodes) = "
+                    f"{allowed[1]}, got {stall_mask.shape}"
                 )
         tokens = compiled.initial_tokens(self.assignments)
         counts = np.zeros(

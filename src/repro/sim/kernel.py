@@ -51,13 +51,17 @@ def step_batch(
             callers seed it with the initial marking of those columns.
         history: (T, B, N) boolean firing record, written starting at
             ``history_offset``.
-        stall_mask: (T, N) boolean fault schedule (see
-            :mod:`repro.faults`): a True entry clock-gates that node on
-            that step even when its marking enables it, read starting
-            at ``stall_offset``.  Stalls are applied to a scratch copy
-            of the enabled vector: the persistent ``fired`` array only
-            recomputes grouped (input-bearing) rows each step, so
-            writing stalls into it would wedge source nodes forever.
+        stall_mask: (T, N) or (T, B, N) boolean fault schedule (see
+            :mod:`repro.faults` / :mod:`repro.stochastic`): a True
+            entry clock-gates that node on that step even when its
+            marking enables it, read starting at ``stall_offset``.
+            The (T, N) form applies one schedule to every
+            configuration; the (T, B, N) form gives each configuration
+            its own schedule (Monte-Carlo trials as the batch axis).
+            Stalls are applied to a scratch copy of the enabled
+            vector: the persistent ``fired`` array only recomputes
+            grouped (input-bearing) rows each step, so writing stalls
+            into it would wedge source nodes forever.
     """
     starts = compiled.group_starts
     group_nodes = compiled.group_nodes

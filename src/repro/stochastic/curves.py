@@ -1,0 +1,200 @@
+"""Tail-vs-queue-sizing curves: the deliverable of ROADMAP item 3.
+
+The deterministic toolchain answers "which sizing sustains the MST?";
+:func:`tail_curve` answers the SLO-shaped question behind it: *how
+much tail latency does each extra queue slot buy under a stochastic
+workload?*  For every queue-sizing assignment in a sweep it runs the
+shared-schedule Monte-Carlo batch (common random numbers -- curves
+differ only where the sizing matters) and, alongside it, the analytic
+estimate of :mod:`repro.stochastic.tails`, cross-checked per point via
+:func:`~repro.stochastic.tails.agreement`.
+
+This module is deliberately thin: all statistics live in
+:mod:`~repro.stochastic.montecarlo` / :mod:`~repro.stochastic.tails`;
+here is only the sweep loop, the default sizing ladder, and the
+table/JSON rendering the ``tail_curves`` engine op and ``repro tail``
+CLI expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..analysis.context import Context, get_context
+from ..core.lis_graph import LisGraph
+from .montecarlo import MonteCarloResult, quantile_name, run_monte_carlo_batch
+from .spec import StochasticSpec, compile_stochastic
+from .tails import TailEstimate, agreement, default_work, estimate_tails
+
+__all__ = ["TailCurve", "TailCurvePoint", "tail_curve", "uniform_sizings"]
+
+
+def uniform_sizings(
+    lis: LisGraph | Context, max_extra: int = 3
+) -> list[dict[int, int]]:
+    """The default sizing ladder: ``k`` extra slots on *every* channel,
+    for ``k = 0..max_extra`` (the uniform-capacity sweep of the NoC
+    buffer-sizing literature; pass explicit assignments for
+    heterogeneous ladders)."""
+    if max_extra < 0:
+        raise ValueError("max_extra must be >= 0")
+    channels = list(lis.channel_ids())
+    return [
+        {cid: k for cid in channels} if k else {}
+        for k in range(max_extra + 1)
+    ]
+
+
+@dataclass(frozen=True)
+class TailCurvePoint:
+    """One sizing on the curve: Monte-Carlo samples, the analytic
+    estimate, and their cross-check."""
+
+    extra_tokens: dict
+    mc: MonteCarloResult
+    estimate: TailEstimate | None
+    check: dict | None
+
+    @property
+    def extra_total(self) -> int:
+        return sum(self.extra_tokens.values())
+
+    def as_dict(self, quantiles: Sequence[float]) -> dict:
+        out = self.mc.summary(quantiles)
+        if self.estimate is not None:
+            out["analytic"] = self.estimate.as_dict()
+        if self.check is not None:
+            out["agreement"] = self.check
+        return out
+
+
+@dataclass(frozen=True)
+class TailCurve:
+    """A full tail-vs-sizing sweep over one system and spec set."""
+
+    node: Hashable
+    clocks: int
+    trials: int
+    work: int
+    quantiles: tuple[float, ...]
+    specs: tuple[StochasticSpec, ...]
+    points: tuple[TailCurvePoint, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "node": str(self.node),
+            "clocks": self.clocks,
+            "trials": self.trials,
+            "work": self.work,
+            "quantiles": list(self.quantiles),
+            "specs": [spec.as_dict() for spec in self.specs],
+            "points": [p.as_dict(self.quantiles) for p in self.points],
+        }
+
+    def render(self) -> str:
+        """Aligned table (the ``repro tail`` view): one row per sizing,
+        completion-time quantiles plus the analytic p99 when exact."""
+        names = [quantile_name(q) for q in self.quantiles]
+        header = (
+            f"{'extra':>6} " + " ".join(f"{n:>8}" for n in names)
+            + f" {'an.p99':>8} {'occ.p99':>8} {'rate':>8}"
+        )
+        lines = [header]
+        for p in self.points:
+            cells = [
+                _fmt(p.mc.quantile("completion", q)) for q in self.quantiles
+            ]
+            analytic = "-"
+            if p.estimate is not None and 0.99 in p.estimate.completion:
+                analytic = _fmt(p.estimate.completion[0.99])
+            occ = _fmt(p.mc.quantile("occupancy", 0.99))
+            rate = f"{p.mc.mean('throughput'):.4f}"
+            lines.append(
+                f"{p.extra_total:>6} "
+                + " ".join(f"{c:>8}" for c in cells)
+                + f" {analytic:>8} {occ:>8} {rate:>8}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        return "inf"
+    return f"{value:g}"
+
+
+def tail_curve(
+    lis: LisGraph | Context,
+    specs: StochasticSpec | Iterable[StochasticSpec],
+    clocks: int,
+    trials: int = 200,
+    sizings: Sequence[Mapping[int, int]] | None = None,
+    quantiles: Iterable[float] = (0.5, 0.99, 0.999),
+    node: Hashable | None = None,
+    work: int | None = None,
+    warmup: int = 0,
+    analytic: bool = True,
+) -> TailCurve:
+    """Sweep queue sizings under one stochastic workload.
+
+    The stall schedule is sampled once and shared by every sizing
+    (common random numbers) and the whole sweep runs as a single
+    kernel batch of ``len(sizings) * trials`` configurations.  ``node``
+    and ``work`` default from the *base* sizing's schedule oracle, so
+    every point measures the same quantity.
+    """
+    if isinstance(specs, StochasticSpec):
+        specs = (specs,)
+    specs = tuple(specs)
+    ctx = get_context(lis)
+    sizing_list = [dict(s) for s in (sizings or uniform_sizings(ctx))]
+    quantile_list = tuple(sorted(set(quantiles)))
+
+    oracle = ctx.schedule_oracle(sizing_list[0])
+    if node is None:
+        rates = oracle.shell_throughputs()
+        node = min(rates, key=lambda s: (rates[s], repr(s)))
+    if work is None:
+        work = default_work(oracle, node, clocks, specs)
+
+    schedule = compile_stochastic(ctx.lis, specs, clocks=clocks, trials=trials)
+    results = run_monte_carlo_batch(
+        ctx,
+        specs,
+        clocks=clocks,
+        trials=trials,
+        warmup=warmup,
+        assignments=sizing_list,
+        node=node,
+        work=work,
+        schedule=schedule,
+    )
+    points = []
+    for extra, mc in zip(sizing_list, results):
+        estimate = check = None
+        if analytic:
+            estimate = estimate_tails(
+                ctx,
+                specs,
+                clocks=clocks,
+                node=node,
+                work=work,
+                quantiles=quantile_list,
+                extra_tokens=extra,
+            )
+            check = agreement(mc, estimate, quantile_list)
+        points.append(
+            TailCurvePoint(
+                extra_tokens=extra, mc=mc, estimate=estimate, check=check
+            )
+        )
+    return TailCurve(
+        node=node,
+        clocks=clocks,
+        trials=trials,
+        work=int(work),
+        quantiles=quantile_list,
+        specs=specs,
+        points=tuple(points),
+    )

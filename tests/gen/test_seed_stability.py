@@ -1,0 +1,90 @@
+"""Seed-stability regression: the generators are part of the repo's
+reproducibility contract, so a seed must keep producing the *same*
+system forever.  Each golden entry is the content fingerprint of the
+generated graph (:attr:`Context.fingerprint` hashes shells, channels,
+relays and initial tokens); any change to generator sampling, node
+naming, or channel ordering shows up here before it silently
+invalidates published experiment seeds."""
+
+import pytest
+
+from repro.analysis import get_context
+from repro.gen import GeneratorConfig, generate_lis, mesh_lis, torus_lis
+
+# Golden table.  If an entry changes, the generator's output for that
+# seed changed -- bump deliberately, never casually.
+RANDOM_GOLDEN = {
+    0: "2030d1efe312b97c8edf7d76367055280dab545348d0f3d12a9e5bfacd3fa786",
+    1: "01e5db8048aa3e7e5f611ccb268ff9eca6dc9e87db8f246de0a5ad6bdaa9048c",
+    7: "42d2161166d5e03fd32254772611ae8aea325abf3015472a8573bb24f7e634cb",
+    42: "071250c2fab00406b7ec2ebfae954550a9d970a0ce377a9ce3b2fe721cc553e9",
+}
+
+MESH_GOLDEN = {
+    (2, 2): "053f82e78db915d22f27dccf3704d323dc24716f2f365f35eaf0de11bf5274ff",
+    (3, 3): "aeb0576395a7dc23012635a700780326dd264dddb8acd1993891749862248d74",
+    (4, 4): "a08049c4a7c223f82a3c998e0980dd16e584d70179c2af2da5a0cae684ae5f36",
+    (2, 5): "a394f39eeba8797f3e267211d1388bae977f3b24d8e83138321f41c57bbed6b7",
+}
+
+TORUS_GOLDEN = {
+    (3, 3): "31e3e16750266672a0ccced1a05787a8660501d3bba91b07d079220268690e4b",
+    (4, 4): "0d42f7e156d5fdcd0a3a1de2909a73735d5c5bdd9ba9653c182c498d8492d7d8",
+    (2, 5): "5d4f440335480d479777c364bf5a8fbb5dc11df547a3060dba65a80f4c31908e",
+}
+
+VARIANT_GOLDEN = {
+    "mesh-3x3-relays2-seed5": (
+        "84d9db38a3f92708151901639c7230f27e68d30664b039243e45bae2d54c5398"
+    ),
+    "mesh-3x3-queue2": (
+        "2cedd1a51370cda6c5f5ffb4c8946cd1a975f2f9fe1e3180cc86ef8a8bab947b"
+    ),
+}
+
+
+def _fingerprint(lis):
+    return get_context(lis).fingerprint
+
+
+@pytest.mark.parametrize("seed", sorted(RANDOM_GOLDEN))
+def test_random_generator_fingerprints_are_stable(seed):
+    config = GeneratorConfig(
+        v=30, s=6, c=2, rs=5, rp=True, policy="scc", seed=seed
+    )
+    assert _fingerprint(generate_lis(config)) == RANDOM_GOLDEN[seed]
+    # And a second call with the same config is identical.
+    assert _fingerprint(generate_lis(config)) == RANDOM_GOLDEN[seed]
+
+
+def test_random_seeds_actually_differ():
+    assert len(set(RANDOM_GOLDEN.values())) == len(RANDOM_GOLDEN)
+
+
+@pytest.mark.parametrize("shape", sorted(MESH_GOLDEN))
+def test_mesh_fingerprints_are_stable(shape):
+    assert _fingerprint(mesh_lis(*shape)) == MESH_GOLDEN[shape]
+
+
+@pytest.mark.parametrize("shape", sorted(TORUS_GOLDEN))
+def test_torus_fingerprints_are_stable(shape):
+    assert _fingerprint(torus_lis(*shape)) == TORUS_GOLDEN[shape]
+
+
+def test_2x2_torus_collapses_onto_the_mesh():
+    """On a 2x2 grid the wraparound links duplicate the mesh links, so
+    the torus *is* the mesh -- pinned so a dedup change is noticed."""
+    assert _fingerprint(torus_lis(2, 2)) == MESH_GOLDEN[(2, 2)]
+
+
+def test_mesh_variants_fingerprints_are_stable():
+    assert (
+        _fingerprint(mesh_lis(3, 3, relays=2, seed=5))
+        == VARIANT_GOLDEN["mesh-3x3-relays2-seed5"]
+    )
+    assert (
+        _fingerprint(mesh_lis(3, 3, queue=2))
+        == VARIANT_GOLDEN["mesh-3x3-queue2"]
+    )
+    # Options change the system: distinct from the plain 3x3 mesh.
+    assert len(set(VARIANT_GOLDEN.values()) | {MESH_GOLDEN[(3, 3)]}) == 3

@@ -1,5 +1,5 @@
 """The simulation-backend registry: lookup, capability flags, fallback
-resolution, the ``simulator=`` deprecation shim, and probe-shell
+resolution, the removed ``simulator=`` keyword, and probe-shell
 selection."""
 
 from fractions import Fraction
@@ -177,7 +177,7 @@ def test_faults_backend_tuple_derived_from_registry():
 
 
 # ----------------------------------------------------------------------
-# measured_throughput: backend= and the simulator= deprecation shim
+# measured_throughput: backend= (simulator= removed in 1.7)
 # ----------------------------------------------------------------------
 
 
@@ -194,23 +194,23 @@ def test_measured_throughput_falls_back_silently():
     assert rate == expected
 
 
-def test_simulator_keyword_warns_and_forwards():
-    lis = fig15_lis()
-    with pytest.warns(DeprecationWarning, match="simulator="):
-        rate = measured_throughput(lis, "A", simulator="schedule")
-    assert rate == Fraction(3, 4)
+def test_simulator_keyword_removed():
+    """The 1.6 deprecation shim is gone: simulator= is now a TypeError
+    whose message points at backend=."""
+    with pytest.raises(TypeError, match=r"use backend="):
+        measured_throughput(fig15_lis(), "A", simulator="schedule")
 
 
-def test_backend_and_simulator_together_rejected():
-    with pytest.raises(TypeError, match="deprecated alias"):
+def test_simulator_keyword_rejected_even_with_backend():
+    with pytest.raises(TypeError, match="no longer accepts simulator="):
         measured_throughput(
             fig15_lis(), "A", backend="fast", simulator="fast"
         )
 
 
-def test_positional_backend_argument_does_not_warn(recwarn):
-    """``backend`` occupies the old positional slot, so positional
-    callers keep working without a deprecation warning."""
+def test_positional_backend_argument_still_works(recwarn):
+    """``backend`` kept the old positional slot through the removal, so
+    positional callers are unaffected."""
     lis = fig15_lis()
     rate = measured_throughput(lis, "A", 200, 60, "schedule")
     assert rate == Fraction(3, 4)

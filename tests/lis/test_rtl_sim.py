@@ -101,10 +101,9 @@ def test_unknown_backend_name_rejected():
 
     with pytest.raises(ValueError, match="unknown backend"):
         measured_throughput(fig1_lis(), "A", backend="verilog")
-    # The deprecated alias still routes through the same validation.
-    with pytest.warns(DeprecationWarning, match="simulator="):
-        with pytest.raises(ValueError, match="unknown backend"):
-            measured_throughput(fig1_lis(), "A", simulator="verilog")
+    # The removed simulator= alias fails before backend validation.
+    with pytest.raises(TypeError, match="use backend="):
+        measured_throughput(fig1_lis(), "A", simulator="verilog")
 
 
 # ----------------------------------------------------------------------

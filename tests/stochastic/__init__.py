@@ -1,0 +1,1 @@
+"""Differential and degeneracy-pinning suite for repro.stochastic."""

@@ -1,0 +1,167 @@
+"""StochasticSpec semantics: validation, JSON round trips, sampling
+determinism, and the mask/gate equivalence that makes cross-backend
+runs bit-for-bit comparable."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.gen import fig15_lis
+from repro.sim.compile import compile_lis
+from repro.stochastic import (
+    KINDS,
+    SCOPES,
+    StochasticSpec,
+    arrival_envelope,
+    bernoulli_stalls,
+    burst_stalls,
+    compile_stochastic,
+    periodic_stalls,
+)
+from tests.strategies import stochastic_specs
+
+
+# ----------------------------------------------------------------------
+# Validation and round trips
+# ----------------------------------------------------------------------
+
+
+def test_kind_and_scope_validated():
+    with pytest.raises(ValueError, match="unknown stochastic kind"):
+        StochasticSpec("poisson")
+    with pytest.raises(ValueError, match="unknown scope"):
+        StochasticSpec("bernoulli", scope="everywhere")
+    with pytest.raises(ValueError, match="requires a non-empty node list"):
+        StochasticSpec("bernoulli", scope="nodes")
+    with pytest.raises(ValueError, match=r"rate must be within \[0, 1\]"):
+        StochasticSpec("bernoulli", rate=1.5)
+    with pytest.raises(ValueError, match="burst and gap"):
+        StochasticSpec("burst", burst=0.5)
+    with pytest.raises(ValueError, match="phase"):
+        StochasticSpec("periodic", phase=-1)
+    assert set(KINDS) == {"bernoulli", "burst", "periodic"}
+    assert set(SCOPES) == {"all", "global", "sources", "sinks", "nodes"}
+
+
+@given(spec=stochastic_specs())
+@settings(max_examples=50, deadline=None)
+def test_dict_round_trip(spec):
+    again = StochasticSpec.from_dict(
+        json.loads(json.dumps(spec.as_dict()))
+    )
+    assert again == spec
+    assert again._digest() == spec._digest()
+
+
+def test_stall_fractions():
+    assert bernoulli_stalls(rate=0.3).stall_fraction == pytest.approx(0.3)
+    assert burst_stalls(burst=4, gap=12).stall_fraction == pytest.approx(0.25)
+    assert periodic_stalls(burst=1, gap=3).stall_fraction == pytest.approx(
+        0.25
+    )
+
+
+def test_is_deterministic():
+    assert periodic_stalls().is_deterministic()
+    assert bernoulli_stalls(rate=0.0).is_deterministic()
+    assert bernoulli_stalls(rate=1.0).is_deterministic()
+    assert not bernoulli_stalls(rate=0.5).is_deterministic()
+    assert not burst_stalls().is_deterministic()
+
+
+def test_arrival_envelope():
+    # Unclamped: the long-run stall fraction is exactly 1 - rho.
+    spec = arrival_envelope(0.25, sigma=4.0)
+    assert spec.kind == "burst" and spec.scope == "sources"
+    assert spec.stall_fraction == pytest.approx(0.75)
+    # rho = 1 degenerates to the zero-stall process.
+    full = arrival_envelope(1.0)
+    assert full.is_deterministic() and full.stall_fraction == 0.0
+    with pytest.raises(ValueError, match="rho"):
+        arrival_envelope(0.0)
+    with pytest.raises(ValueError, match="sigma"):
+        arrival_envelope(0.5, sigma=0.0)
+
+
+# ----------------------------------------------------------------------
+# Sampling determinism
+# ----------------------------------------------------------------------
+
+
+def test_compile_is_deterministic_and_seeded():
+    lis = fig15_lis()
+    a = compile_stochastic(lis, bernoulli_stalls(0.2, seed=1), 40, trials=4)
+    b = compile_stochastic(lis, bernoulli_stalls(0.2, seed=1), 40, trials=4)
+    assert np.array_equal(a.stalled, b.stalled)
+    other = compile_stochastic(
+        lis, bernoulli_stalls(0.2, seed=2), 40, trials=4
+    )
+    assert not np.array_equal(a.stalled, other.stalled)
+    assert a.stalled.shape == (40, 4, len(a.nodes))
+    assert 0.0 < a.stall_fraction < 1.0
+    assert a.total_stalls == int(a.stalled.sum())
+
+
+def test_global_scope_shares_one_process():
+    lis = fig15_lis()
+    schedule = compile_stochastic(
+        lis, bernoulli_stalls(0.3, scope="global"), 50, trials=3
+    )
+    # Every node column carries the same shared draw.
+    first = schedule.stalled[:, :, :1]
+    assert np.array_equal(
+        schedule.stalled, np.broadcast_to(first, schedule.stalled.shape)
+    )
+
+
+def test_compile_argument_validation():
+    lis = fig15_lis()
+    with pytest.raises(ValueError, match="clocks"):
+        compile_stochastic(lis, bernoulli_stalls(), 0)
+    with pytest.raises(ValueError, match="trials"):
+        compile_stochastic(lis, bernoulli_stalls(), 10, trials=0)
+
+
+def test_mask_and_gate_views_agree():
+    """mask() (fast backend) and gate() (reference backends) are two
+    views of the same sampled array -- slot for slot."""
+    lis = fig15_lis()
+    schedule = compile_stochastic(
+        lis, burst_stalls(burst=2, gap=3, seed=7), 24, trials=2
+    )
+    compiled = compile_lis(lis)
+    mask = schedule.mask(compiled)
+    assert mask.shape == (24, 2, compiled.n_nodes)
+    for trial in range(2):
+        gate = schedule.gate(trial)
+        for t in range(24):
+            for i, node in enumerate(compiled.node_names):
+                assert mask[t, trial, i] == gate(node, t)
+        # Out-of-horizon and unknown nodes never stall.
+        assert not gate(compiled.node_names[0], 24)
+        assert not gate("no-such-node", 0)
+    with pytest.raises(IndexError):
+        schedule.gate(2)
+
+
+def test_mask_tiles_trials_innermost():
+    """With A assignments the batch layout is b = a * trials + trial --
+    the common-random-numbers contract of run_monte_carlo_batch."""
+    lis = fig15_lis()
+    schedule = compile_stochastic(lis, bernoulli_stalls(0.4, seed=3), 16, 3)
+    compiled = compile_lis(lis)
+    one = schedule.mask(compiled)
+    tiled = schedule.mask(compiled, assignments=2)
+    assert tiled.shape == (16, 6, compiled.n_nodes)
+    assert np.array_equal(tiled[:, :3], one)
+    assert np.array_equal(tiled[:, 3:], one)
+
+
+def test_as_dicts_round_trip():
+    specs = (bernoulli_stalls(0.1), periodic_stalls(2, 2))
+    schedule = compile_stochastic(fig15_lis(), specs, 10)
+    assert [StochasticSpec.from_dict(d) for d in schedule.as_dicts()] == list(
+        specs
+    )

@@ -151,6 +151,66 @@ def arithmetic_behaviors(lis, params):
 
 
 @st.composite
+def stochastic_specs(
+    draw,
+    kinds: tuple[str, ...] = ("bernoulli", "burst", "periodic"),
+    scopes: tuple[str, ...] = ("all", "global", "sources", "sinks"),
+    deterministic: bool | None = None,
+):
+    """A random :class:`repro.stochastic.StochasticSpec`.
+
+    ``deterministic=True`` draws only zero-variance processes (periodic
+    patterns and rate-0/1 Bernoulli -- the degeneracy-pinning inputs);
+    ``False`` only genuinely random ones; ``None`` either.
+    """
+    from repro.stochastic import StochasticSpec
+
+    if deterministic is True:
+        kinds = tuple(k for k in kinds if k != "burst")
+    kind = draw(st.sampled_from(kinds))
+    scope = draw(st.sampled_from(scopes))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    if kind == "bernoulli":
+        if deterministic is True:
+            rate = draw(st.sampled_from([0.0, 1.0]))
+        elif deterministic is False:
+            rate = draw(
+                st.floats(min_value=0.05, max_value=0.6, allow_nan=False)
+            )
+        else:
+            rate = draw(
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+            )
+        return StochasticSpec("bernoulli", scope=scope, rate=rate, seed=seed)
+    if kind == "burst":
+        if deterministic is True:  # pragma: no cover - filtered above
+            raise AssertionError("burst processes are never deterministic")
+        return StochasticSpec(
+            "burst",
+            scope=scope,
+            burst=draw(st.floats(min_value=1.0, max_value=8.0)),
+            gap=draw(st.floats(min_value=1.0, max_value=16.0)),
+            seed=seed,
+        )
+    if deterministic is False:
+        # Periodic patterns are always deterministic; substitute a
+        # mid-rate Bernoulli to honour the request.
+        return StochasticSpec(
+            "bernoulli",
+            scope=scope,
+            rate=draw(st.floats(min_value=0.05, max_value=0.6)),
+            seed=seed,
+        )
+    return StochasticSpec(
+        "periodic",
+        scope=scope,
+        burst=float(draw(st.integers(min_value=1, max_value=4))),
+        gap=float(draw(st.integers(min_value=1, max_value=6))),
+        phase=draw(st.integers(min_value=0, max_value=5)),
+    )
+
+
+@st.composite
 def lis_systems(draw, **kwargs):
     """A random LIS plus a behaviours *factory* (fresh stateful cores
     per call): ``(lis, make_behaviors)``."""

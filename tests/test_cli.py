@@ -273,3 +273,91 @@ def test_chaos_on_a_system_file(fig1_file, capsys):
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_tail_smoke(capsys):
+    args = [
+        "tail", "--system", "fig15",
+        "--rate", "0.1", "--seed", "3",
+        "--clocks", "200", "--trials", "40", "--max-extra", "1",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "extra" in out and "an.p99" in out
+    assert "ok" in out
+    assert "cross-check" in out
+
+
+def test_tail_json_output(capsys):
+    args = [
+        "tail", "--system", "fig15", "--kind", "burst",
+        "--burst", "3", "--gap", "9", "--seed", "1",
+        "--clocks", "150", "--trials", "30", "--max-extra", "1", "--json",
+    ]
+    assert main(args) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["system"] == "fig15"
+    assert len(doc["points"]) == 2
+    assert all(p["agreement"]["exact"] for p in doc["points"])
+
+
+def test_tail_approximate_path_reports_bounds(capsys):
+    """Per-node scopes have no exact analytic path; the CLI must show
+    'bound' verdicts and still exit 0."""
+    args = [
+        "tail", "--system", "fig15", "--kind", "arrival",
+        "--rho", "0.8", "--sigma", "4", "--seed", "2",
+        "--clocks", "150", "--trials", "20", "--max-extra", "0",
+    ]
+    assert main(args) == 0
+    assert "bound" in capsys.readouterr().out
+
+
+def test_tail_no_analytic(capsys):
+    args = [
+        "tail", "--system", "fig15", "--no-analytic",
+        "--clocks", "100", "--trials", "10", "--max-extra", "0",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    # No estimate: placeholder cells and no cross-check verdict line.
+    assert "cross-check" not in out
+    assert " - " in out or out.rstrip().endswith("-")
+
+
+def test_tail_mesh_shorthand(capsys):
+    args = [
+        "tail", "--system", "mesh:2x2",
+        "--clocks", "100", "--trials", "10", "--max-extra", "0",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(["tail", "--system", "mesh:bogus"]) == 2
+    assert "bad NoC spec" in capsys.readouterr().err
+
+
+def test_tail_rejects_bad_spec(capsys):
+    args = ["tail", "--system", "fig15", "--rate", "1.5"]
+    assert main(args) == 2
+    assert "rate" in capsys.readouterr().err
+
+
+def test_generate_mesh_and_torus(tmp_path, capsys):
+    out_file = tmp_path / "mesh.json"
+    args = [
+        "generate", "--topology", "mesh", "--rows", "3", "--cols", "3",
+        "-o", str(out_file),
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(out_file)]) == 0
+    assert "shells:          9" in capsys.readouterr().out
+    torus_file = tmp_path / "torus.json"
+    args = [
+        "generate", "--topology", "torus", "--rows", "2", "--cols", "3",
+        "-o", str(torus_file),
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(torus_file)]) == 0
+    assert "shells:          6" in capsys.readouterr().out
