@@ -39,6 +39,10 @@ Subpackages:
   transient latency without simulating (``backend="schedule"``).
 * :mod:`repro.gen` -- the Section VIII random generator and every
   worked example from the paper's figures.
+* :mod:`repro.dsl` -- the declarative frontend: ``@shell`` /
+  ``@system`` class decorators, typed ports, hierarchical
+  composition, lowering to fingerprint-identical graphs, and
+  SystemVerilog export pinned cycle-exactly against the simulators.
 * :mod:`repro.soc` -- the COFDM UWB transmitter case study.
 * :mod:`repro.engine` -- the self-healing batch analysis engine:
   process-pool fan-out, content-hash memoization, per-op
@@ -107,12 +111,23 @@ from .lis import (
     register_backend,
     simulate_trace,
 )
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 # The vectorized backend, the schedule oracle and the stochastic layer
 # need numpy, which is an optional dependency; resolve their names
-# lazily so `import repro` works without it.
+# lazily so `import repro` works without it.  The declarative frontend
+# resolves lazily too, keeping `import repro` free of its module tree.
 _SIM_EXPORTS = {"BatchSimulator", "FastSimulator", "simulate_fast"}
+_DSL_EXPORTS = {
+    "Channel",
+    "Port",
+    "SystemBuilder",
+    "SystemDecl",
+    "crosscheck_rtl",
+    "export_rtl",
+    "shell",
+    "system",
+}
 _SCHEDULE_EXPORTS = {"ScheduleOracle", "derive_schedule"}
 _STOCHASTIC_EXPORTS = {
     "MonteCarloResult",
@@ -134,6 +149,10 @@ def __getattr__(name):
         from . import sim
 
         return getattr(sim, name)
+    if name in _DSL_EXPORTS:
+        from . import dsl
+
+        return getattr(dsl, name)
     if name in _SCHEDULE_EXPORTS:
         from . import schedule
 
@@ -150,6 +169,7 @@ __all__ = [
     "AnalysisReport",
     "Backend",
     "BatchSimulator",
+    "Channel",
     "Checkpoint",
     "Context",
     "EngineStats",
@@ -160,12 +180,15 @@ __all__ = [
     "LisGraph",
     "MarkedGraph",
     "MonteCarloResult",
+    "Port",
     "QsSolution",
     "RtlSimulator",
     "ScheduleOracle",
     "ShellBehavior",
     "Solver",
     "StochasticSpec",
+    "SystemBuilder",
+    "SystemDecl",
     "TailCurve",
     "TailEstimate",
     "TdKernel",
@@ -184,10 +207,12 @@ __all__ = [
     "check_invariants",
     "classify_topology",
     "compile_td",
+    "crosscheck_rtl",
     "crossvalidate",
     "degradation_ratio",
     "derive_schedule",
     "estimate_tails",
+    "export_rtl",
     "fixed_qs_mst",
     "generate_lis",
     "get_backend",
@@ -204,9 +229,11 @@ __all__ = [
     "run_campaign",
     "run_checkpointed",
     "run_monte_carlo",
+    "shell",
     "simulate_fast",
     "simulate_trace",
     "size_queues",
+    "system",
     "solve_exact_portfolio",
     "tail_curve",
     "torus_lis",

@@ -540,16 +540,31 @@ def _same_structure(a: LisGraph, b: LisGraph) -> bool:
     return list(a.system.nodes) == list(b.system.nodes)
 
 
-def get_context(lis: LisGraph | Context) -> Context:
+def get_context(lis: "LisGraph | Context | object") -> Context:
     """The shared :class:`Context` for ``lis``'s current content.
 
     Serializes and fingerprints the graph, then returns the registered
     context for that fingerprint (creating and registering one on
     miss).  Registry contexts use the process-global
     :class:`ContextStats`.  Idempotent on Contexts.
+
+    Also accepts any declarative root from :mod:`repro.dsl` (an
+    ``@system`` class, a ``SystemDecl``, a ``SystemBuilder``) via the
+    duck-typed ``__lis_decl__`` marker: the declaration is lowered in
+    declaration order, so its fingerprint -- and therefore the
+    registry slot and every cached artifact -- is shared with the
+    equivalent hand-built graph.
     """
     if isinstance(lis, Context):
         return lis
+    if not isinstance(lis, LisGraph):
+        decl = getattr(lis, "__lis_decl__", None)
+        if decl is None or not hasattr(decl, "lower"):
+            raise TypeError(
+                f"get_context() needs a LisGraph, a Context, or a "
+                f"declarative system (repro.dsl), got {lis!r}"
+            )
+        lis = decl.lower()
     text = lis_to_json(lis)
     fingerprint = lis_fingerprint(text)
     with _REGISTRY_LOCK:

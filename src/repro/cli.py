@@ -7,6 +7,12 @@ Gives the library's analysis pipeline a shell-scriptable surface:
   ``--cache DIR``;
 * ``size``     -- queue sizing (any registered solver);
 * ``generate`` -- the Section VIII random generator, to a JSON file;
+  with ``--dsl FILE`` it instead lowers a declarative system
+  (:mod:`repro.dsl`) defined in a Python file;
+* ``export-rtl`` -- synthesizable SystemVerilog (plus a self-checking
+  testbench) for a corpus entry, example, DSL file, or LIS JSON
+  description; ``--check`` cross-validates the RTL model
+  cycle-exactly against the whole simulator stack first;
 * ``simulate`` -- empirical throughput from either simulator;
 * ``example``  -- dump one of the paper's named example systems;
 * ``dot``      -- Graphviz rendering of the system or its doubled
@@ -261,6 +267,57 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--policy", choices=("scc", "any"), default="scc")
     gen.add_argument("--queue", type=int, default=1)
     gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument(
+        "--dsl",
+        default=None,
+        metavar="FILE",
+        help="lower a declarative system (repro.dsl) from a Python "
+        "file instead of generating randomly; other generator "
+        "options are ignored",
+    )
+    gen.add_argument(
+        "--system",
+        default=None,
+        metavar="NAME",
+        help="with --dsl: which declared system to lower, when the "
+        "file defines more than one",
+    )
+
+    rtl = sub.add_parser(
+        "export-rtl",
+        help="synthesizable SystemVerilog + self-checking testbench",
+    )
+    rtl.add_argument(
+        "system",
+        metavar="SYSTEM",
+        help="a DSL corpus name (e.g. fig15, cofdm, elastic_pipeline), "
+        "an example name, mesh:RxC / torus:RxC, a LIS JSON file, or "
+        "FILE.py[:NAME] for a declarative system in a Python file",
+    )
+    rtl.add_argument(
+        "-o", "--output", required=True, metavar="DIR",
+        help="directory receiving <top>.sv and <top>_tb.sv",
+    )
+    rtl.add_argument(
+        "--name", default=None, help="top module name (default: derived)"
+    )
+    rtl.add_argument(
+        "--clocks",
+        type=int,
+        default=60,
+        help="testbench horizon; golden firing counts cover exactly "
+        "this many clocks (default: 60)",
+    )
+    rtl.add_argument(
+        "--width", type=int, default=32, help="channel width in bits"
+    )
+    rtl.add_argument(
+        "--check",
+        action="store_true",
+        help="first pin the RTL model cycle-exactly against the "
+        "simulator stack (differential harness with the netlist "
+        "voice); non-zero exit on any disagreement",
+    )
 
     sim = sub.add_parser("simulate", help="empirical throughput")
     sim.add_argument("file")
@@ -659,7 +716,73 @@ def _cmd_size(args) -> int:
     return 0 if solution.restores_target else 1
 
 
+def _load_dsl_roots(path: str) -> dict[str, object]:
+    """Execute a Python file and collect its declarative systems.
+
+    Returns ``{attribute name: SystemDecl}`` for every module-level
+    DSL root (``@system`` classes, ``SystemDecl`` constants,
+    ``SystemBuilder`` instances).
+    """
+    import runpy
+
+    from .dsl import DslError, to_system_decl
+
+    namespace = runpy.run_path(path)
+    roots: dict[str, object] = {}
+    for attr, value in namespace.items():
+        if attr.startswith("_"):
+            continue
+        try:
+            roots[attr] = to_system_decl(value)
+        except DslError:
+            continue
+    return roots
+
+
+def _pick_dsl_root(path: str, wanted: str | None):
+    """The (attribute name, SystemDecl) to use from a DSL file."""
+    roots = _load_dsl_roots(path)
+    if not roots:
+        raise ValueError(
+            f"{path} defines no declarative systems (@system classes, "
+            f"SystemDecl or SystemBuilder objects)"
+        )
+    if wanted is not None:
+        for attr, decl in roots.items():
+            if attr == wanted or getattr(decl, "name", None) == wanted:
+                return attr, decl
+        raise ValueError(
+            f"{path} defines no system named {wanted!r} "
+            f"(found: {', '.join(sorted(roots))})"
+        )
+    if len(roots) > 1:
+        raise ValueError(
+            f"{path} defines {len(roots)} systems "
+            f"({', '.join(sorted(roots))}); pick one with --system NAME"
+        )
+    return next(iter(roots.items()))
+
+
 def _cmd_generate(args) -> int:
+    if args.dsl is not None:
+        try:
+            attr, decl = _pick_dsl_root(args.dsl, args.system)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        lis = decl.lower()
+        save_lis(lis, args.output)
+        print(
+            f"wrote {args.output}: {attr} from {args.dsl}, "
+            f"{lis.system.number_of_nodes()} shells, "
+            f"{len(lis.channels())} channels, "
+            f"{lis.total_relays()} relay stations "
+            f"(fingerprint {lis.fingerprint()[:16]})"
+        )
+        return 0
+    if args.system is not None:
+        print("error: --system requires --dsl FILE", file=sys.stderr)
+        return 2
     if args.topology in ("mesh", "torus"):
         try:
             lis = _generator.mesh_lis(
@@ -820,6 +943,52 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_export_rtl(args) -> int:
+    from .dsl import CORPUS, corpus_system, crosscheck_rtl, export_rtl
+
+    spec = args.system
+    try:
+        if spec.endswith(".py") or ".py:" in spec:
+            path, _, attr = spec.partition(".py")
+            system = _pick_dsl_root(
+                f"{path}.py", attr.lstrip(":") or None
+            )[1]
+        elif spec in CORPUS:
+            system = corpus_system(spec)
+        else:
+            system = _resolve_system(spec)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load system: {exc}", file=sys.stderr)
+        return 2
+
+    if args.check:
+        report = crosscheck_rtl(system, clocks=max(args.clocks, 60))
+        rates = ", ".join(
+            f"{backend}={rate}"
+            for backend, rate in sorted(report.throughput.items())
+        )
+        if report.agreed:
+            print(f"crosscheck: PASS ({rates})")
+        else:
+            print("crosscheck: FAIL", file=sys.stderr)
+            for failure in report.failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+
+    export = export_rtl(
+        system, name=args.name, clocks=args.clocks, width=args.width
+    )
+    paths = export.write(args.output)
+    print(f"top module:  {export.top}")
+    print(f"fingerprint: {export.fingerprint[:16]}")
+    for path in paths:
+        print(f"wrote {path}")
+    print(f"golden firing counts over {export.clocks} clocks:")
+    for shell_name, count in export.golden.items():
+        print(f"  {shell_name!r:24} {count}")
+    return 0
+
+
 def _cmd_example(args) -> int:
     lis = EXAMPLES[args.name]()
     from .core.serialize import lis_to_json
@@ -877,6 +1046,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "size": _cmd_size,
     "generate": _cmd_generate,
+    "export-rtl": _cmd_export_rtl,
     "simulate": _cmd_simulate,
     "example": _cmd_example,
     "dot": _cmd_dot,

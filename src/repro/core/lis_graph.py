@@ -32,6 +32,7 @@ from typing import Hashable, Iterable
 
 from ..graphs import Digraph, Edge
 from .marked_graph import MarkedGraph
+from .naming import relay_name, stage_name
 
 __all__ = [
     "LisGraph",
@@ -47,18 +48,6 @@ RELAY_CAPACITY = 2
 
 class LisError(Exception):
     """Raised on invalid LIS construction or lowering."""
-
-
-def relay_name(channel: int, index: int) -> tuple:
-    """Canonical transition name of the ``index``-th relay station
-    inserted on ``channel`` (0-based, counted from the producer)."""
-    return ("rs", channel, index)
-
-
-def stage_name(shell, index: int) -> tuple:
-    """Canonical transition name of the ``index``-th internal pipeline
-    stage of a multi-cycle-latency shell (paper, footnote 3)."""
-    return ("stage", shell, index)
 
 
 class LisGraph:

@@ -1,0 +1,84 @@
+"""Canonical node naming of the practical LIS structure.
+
+Every layer that talks about the *expanded* system -- the marked-graph
+lowerings, the three simulators, fault injection, stochastic gating,
+the DSL frontend and the RTL exporter -- must agree on what each
+structural node is called.  This module is the single source of those
+conventions:
+
+* a **shell** keeps the designer-facing name it was declared with;
+* the ``index``-th **relay station** on channel ``cid`` is
+  ``("rs", cid, index)`` (:func:`relay_name`);
+* the ``index``-th internal **pipeline stage** of a multi-cycle shell
+  is ``("stage", shell, index)`` (:func:`stage_name`);
+* :func:`structural_nodes` enumerates the full expanded node set in the
+  deterministic (repr-sorted) order the seeded fault/stall samplers
+  consume.
+
+Because :mod:`repro.dsl` lowers through the same helpers, a system
+declared in the DSL names its relay stations and stages exactly like
+the equivalent hand-built :class:`~repro.core.lis_graph.LisGraph` --
+which is what keeps Context fingerprints, engine cache keys, fault
+schedules and RTL module names aligned across frontends.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .lis_graph import LisGraph
+
+__all__ = [
+    "relay_name",
+    "stage_name",
+    "structural_nodes",
+    "source_shells",
+    "sink_shells",
+]
+
+
+def relay_name(channel: int, index: int) -> tuple:
+    """Canonical transition name of the ``index``-th relay station
+    inserted on ``channel`` (0-based, counted from the producer)."""
+    return ("rs", channel, index)
+
+
+def stage_name(shell: Hashable, index: int) -> tuple:
+    """Canonical transition name of the ``index``-th internal pipeline
+    stage of a multi-cycle-latency shell (paper, footnote 3)."""
+    return ("stage", shell, index)
+
+
+def structural_nodes(lis: "LisGraph") -> list[Hashable]:
+    """Every node of the practical LIS under the uniform naming shared
+    by all simulator backends: shells, internal pipeline stages
+    (``("stage", shell, i)``), and relay stations (``("rs", cid, i)``),
+    sorted by repr for deterministic RNG consumption."""
+    nodes: list[Hashable] = []
+    for shell in lis.shells():
+        nodes.append(shell)
+        for i in range(lis.latency(shell) - 1):
+            nodes.append(stage_name(shell, i))
+    for channel in lis.channels():
+        for i in range(channel.data["relays"]):
+            nodes.append(relay_name(channel.key, i))
+    return sorted(nodes, key=repr)
+
+
+def source_shells(lis: "LisGraph") -> list[Hashable]:
+    """Environment sources (shells with no system in-edges), repr-
+    sorted; the whole shell set when the system has none.  Shared
+    target rule of ``void-storm`` faults and ``scope="sources"``
+    stochastic specs."""
+    shells = list(lis.shells())
+    sources = [s for s in shells if not list(lis.system.in_edges(s))]
+    return sorted(sources or shells, key=repr)
+
+
+def sink_shells(lis: "LisGraph") -> list[Hashable]:
+    """Environment sinks (shells with no system out-edges), repr-
+    sorted; the whole shell set when the system has none."""
+    shells = list(lis.shells())
+    sinks = [s for s in shells if not list(lis.system.out_edges(s))]
+    return sorted(sinks or shells, key=repr)

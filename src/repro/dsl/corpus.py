@@ -1,0 +1,261 @@
+"""The paper's worked examples, re-expressed in the declarative DSL.
+
+Every entry lowers to a :class:`~repro.core.lis_graph.LisGraph` whose
+content fingerprint is **byte-identical** to the hand-built factory in
+:mod:`repro.gen` (or :mod:`repro.soc`) it mirrors -- the round-trip
+regression suite pins each digest pair, so the DSL frontend can never
+silently drift from the graphs the experiments run on.
+
+The corpus doubles as the RTL smoke set: ``repro export-rtl fig15``
+(or any :data:`CORPUS` name) emits SystemVerilog for these systems,
+cross-checked cycle-exactly against the simulator stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .decl import DslError, SystemBuilder, SystemDecl, to_system_decl
+from .frontend import Channel, Port, shell, system
+
+__all__ = [
+    "Core",
+    "Fig1",
+    "Fig2Right",
+    "Fig15",
+    "Uplink",
+    "Downlink",
+    "UplinkDownlink",
+    "ElasticPipeline",
+    "mesh_system",
+    "ring_system",
+    "CORPUS",
+    "corpus_names",
+    "corpus_system",
+]
+
+
+@shell
+class Core:
+    """The generic latency-1 shell-encapsulated core of the figures."""
+
+    din = Port.input()
+    dout = Port.output()
+
+
+@system
+class Fig1:
+    """Figs. 1-2 (left): A feeds B twice; the long *upper* route
+    carries one relay station.  Channel ids: upper = 0, lower = 1.
+    Fingerprint-identical to :func:`repro.gen.fig1_lis`."""
+
+    A = Core()
+    B = Core()
+    upper = Channel(A, B, relays=1)
+    lower = Channel(A, B)
+
+
+@system
+class Fig2Right:
+    """Fig. 2 (right): a relay station on *both* routes equalizes the
+    path latencies; with q = 1 the MST returns to 1.  Fingerprint-
+    identical to :func:`repro.gen.fig2_right_lis`."""
+
+    A = Core()
+    B = Core()
+    upper = Channel(A, B, relays=1)
+    lower = Channel(A, B, relays=1)
+
+
+@system
+class Fig15:
+    """Fig. 15: relay insertion cannot recover the ideal MST = 5/6 but
+    queue sizing can.  Fingerprint-identical to
+    :func:`repro.gen.fig15_lis` (same channel ids, 0-6)."""
+
+    A = Core()
+    B = Core()
+    C = Core()
+    D = Core()
+    E = Core()
+    ae = Channel(A, E, relays=1)
+    ed = Channel(E, D)
+    dc = Channel(D, C)
+    cb = Channel(C, B)
+    ba = Channel(B, A)
+    ac = Channel(A, C)
+    ce = Channel(C, E)
+
+
+@system
+class Uplink:
+    """The introduction's uplink: a 3-ring with one relay station
+    (3 tokens over 4 places, MST 3/4)."""
+
+    u0 = Core()
+    u1 = Core()
+    u2 = Core()
+    r0 = Channel(u0, u1, relays=1)
+    r1 = Channel(u1, u2)
+    r2 = Channel(u2, u0)
+
+
+@system
+class Downlink:
+    """The introduction's downlink: a 2-ring with one relay station
+    (2 tokens over 3 places, MST 2/3)."""
+
+    d0 = Core()
+    d1 = Core()
+    r0 = Channel(d0, d1, relays=1)
+    r1 = Channel(d1, d0)
+
+
+@system
+class UplinkDownlink:
+    """The motivating composition: the fast uplink feeds the slow
+    downlink over one bridge channel, so backpressure is mandatory.
+
+    Declared *hierarchically* -- two subsystem instances, inlined into
+    the parent namespace -- yet fingerprint-identical to the flat
+    hand-built :func:`repro.gen.uplink_downlink_lis`."""
+
+    up = Uplink(inline=True)
+    down = Downlink(inline=True)
+    bridge = Channel(up.u0, down.d0)
+
+
+@shell(latency=2)
+class Worker:
+    """A two-stage pipelined core (the paper's footnote-3 latency)."""
+
+    din = Port.input()
+    dout = Port.output()
+
+
+@shell
+class Stager:
+    """A single-cycle sequencing core closing each stage's local loop."""
+
+    din = Port.input()
+    dout = Port.output()
+
+
+@system
+class ElasticStage:
+    """One stage of the elastic pipeline: a pipelined worker with a
+    local control loop whose backedge gets a deeper queue."""
+
+    w = Worker()
+    ctl = Stager()
+    fwd = Channel(w, ctl)
+    back = Channel(ctl, w, queue=2)
+
+
+@system
+class ElasticPipeline:
+    """A three-stage elastic pipeline with pipelined (multi-cycle)
+    cores, relay-station-segmented inter-stage wires, and a sized
+    global feedback loop -- the corpus entry exercising every DSL
+    construct at once (hierarchy, latency, relays, queues)."""
+
+    s0 = ElasticStage()
+    s1 = ElasticStage()
+    s2 = ElasticStage()
+    c01 = Channel(s0.ctl, s1.w, relays=1)
+    c12 = Channel(s1.ctl, s2.w, relays=2)
+    loop = Channel(s2.ctl, s0.w, queue=3)
+
+
+def mesh_system(
+    rows: int, cols: int, queue: int = 1, torus: bool = False
+) -> SystemDecl:
+    """A ``rows x cols`` mesh (or torus) NoC declared programmatically.
+
+    The :class:`SystemBuilder` twin of
+    :func:`repro.gen.generator.mesh_lis` with no random draws:
+    fingerprint-identical to ``mesh_lis(rows, cols, queue, torus)``.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise DslError("mesh needs at least two routers")
+    b = SystemBuilder(
+        f"{'torus' if torus else 'mesh'}{rows}x{cols}", default_queue=queue
+    )
+    for r in range(rows):
+        for c in range(cols):
+            b.shell(f"m{r}_{c}")
+
+    def link(a: str, z: str) -> None:
+        b.channel(a, z)
+        b.channel(z, a)
+
+    for r in range(rows):
+        for c in range(cols):
+            here = f"m{r}_{c}"
+            if c + 1 < cols:
+                link(here, f"m{r}_{c + 1}")
+            elif torus and cols >= 3:
+                link(here, f"m{r}_0")
+            if r + 1 < rows:
+                link(here, f"m{r + 1}_{c}")
+            elif torus and rows >= 3:
+                link(here, f"m0_{c}")
+    return b.build()
+
+
+def ring_system(n: int, relays: int = 0, queue: int = 1) -> SystemDecl:
+    """A ring of ``n`` shells with ``relays`` relay stations on the
+    closing channel: the declarative twin of :func:`repro.gen.ring_lis`
+    (fingerprint-identical).  Ideal MST = n / (n + relays), capped at 1.
+    """
+    if n < 1:
+        raise DslError("ring needs at least one shell")
+    b = SystemBuilder(f"ring{n}", default_queue=queue)
+    names = [b.shell(f"s{i}") for i in range(n)]
+    for i, name in enumerate(names):
+        b.channel(name, names[(i + 1) % n], relays=relays if i == n - 1 else 0)
+    return b.build()
+
+
+def _cofdm() -> SystemDecl:
+    from ..soc.declarative import CofdmTransmitter
+
+    return to_system_decl(CofdmTransmitter)
+
+
+def _cofdm_fig19() -> SystemDecl:
+    from ..soc.declarative import fig19_system
+
+    return fig19_system()
+
+
+#: The named corpus: every entry is a zero-argument factory returning a
+#: flat :class:`SystemDecl`.  CLI commands (``repro export-rtl fig15``)
+#: and the CI smoke job resolve names here.
+CORPUS: dict[str, Callable[[], SystemDecl]] = {
+    "fig1": lambda: to_system_decl(Fig1),
+    "fig2_right": lambda: to_system_decl(Fig2Right),
+    "fig15": lambda: to_system_decl(Fig15),
+    "uplink_downlink": lambda: to_system_decl(UplinkDownlink),
+    "elastic_pipeline": lambda: to_system_decl(ElasticPipeline),
+    "cofdm": _cofdm,
+    "cofdm_fig19": _cofdm_fig19,
+    "mesh3x3": lambda: mesh_system(3, 3),
+    "torus4x4": lambda: mesh_system(4, 4, torus=True),
+    "ring8": lambda: ring_system(8, relays=2),
+}
+
+
+def corpus_names() -> list[str]:
+    return sorted(CORPUS)
+
+
+def corpus_system(name: str) -> SystemDecl:
+    """Resolve a corpus entry by name to its :class:`SystemDecl`."""
+    try:
+        factory = CORPUS[name]
+    except KeyError:
+        raise DslError(
+            f"unknown corpus system {name!r}; known: {', '.join(corpus_names())}"
+        ) from None
+    return factory()

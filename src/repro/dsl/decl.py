@@ -1,0 +1,312 @@
+"""The declarative intermediate representation of a LIS description.
+
+A :class:`SystemDecl` is the *description* of a latency-insensitive
+system -- shells with core latencies, point-to-point channels with
+queue capacities and relay-station hints -- decoupled from every way
+the repo *analyzes* one (:class:`~repro.core.lis_graph.LisGraph`,
+marked graphs, simulators, solvers).  It is deliberately tiny and
+frozen: the class-decorator frontend (:mod:`repro.dsl.frontend`)
+compiles to it, the programmatic :class:`SystemBuilder` constructs it
+in loops (parametric meshes, generated SoCs), and the RTL exporter
+(:mod:`repro.dsl.rtl`) reads it.
+
+Lowering (:meth:`SystemDecl.lower`) produces a **frozen**
+:class:`~repro.core.lis_graph.LisGraph` whose shells and channels are
+added in declaration order -- so the canonical JSON form, and with it
+the :meth:`Context.fingerprint` digest and every engine cache key, is
+byte-identical to the equivalent hand-built graph.  The entire
+analysis/cache/memoization stack therefore applies to DSL-declared
+systems with zero changes, which the round-trip regression suite pins
+for the paper's fig. 15, the COFDM SoC, and the mesh/torus NoCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.lis_graph import LisGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.context import Context
+
+__all__ = [
+    "DslError",
+    "ShellDecl",
+    "ChannelDecl",
+    "SystemDecl",
+    "SystemBuilder",
+    "to_system_decl",
+    "decl_from_lis",
+]
+
+#: Hierarchy separator used when flattening composed systems.
+SEP = "."
+
+
+class DslError(Exception):
+    """Raised on an invalid declarative system description."""
+
+
+@dataclass(frozen=True)
+class ShellDecl:
+    """One shell-encapsulated core: a name and a pipeline latency."""
+
+    name: str
+    latency: int = 1
+
+    def validate(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise DslError(f"shell name must be a non-empty string, got {self.name!r}")
+        if self.latency < 1:
+            raise DslError(
+                f"shell {self.name!r}: core latency must be >= 1, got {self.latency}"
+            )
+
+
+@dataclass(frozen=True)
+class ChannelDecl:
+    """One point-to-point channel ``src -> dst``.
+
+    ``queue`` is the consumer-side input-queue capacity (``None`` means
+    the system's ``default_queue``); ``relays`` is the relay-station
+    hint -- how many two-register pipeline buffers to insert along the
+    channel's wires.
+    """
+
+    src: str
+    dst: str
+    queue: int | None = None
+    relays: int = 0
+
+    def validate(self) -> None:
+        if self.queue is not None and self.queue < 1:
+            raise DslError(
+                f"channel {self.src}->{self.dst}: queue capacity must be "
+                f">= 1, got {self.queue}"
+            )
+        if self.relays < 0:
+            raise DslError(
+                f"channel {self.src}->{self.dst}: relay count must be "
+                f">= 0, got {self.relays}"
+            )
+
+
+@dataclass(frozen=True)
+class SystemDecl:
+    """A complete, flat, validated LIS description.
+
+    Channel ids of the lowered graph are the indices into
+    ``channels`` -- the same contract as the JSON document format of
+    :mod:`repro.core.serialize`.
+    """
+
+    name: str
+    shells: tuple[ShellDecl, ...]
+    channels: tuple[ChannelDecl, ...]
+    default_queue: int = 1
+
+    def __post_init__(self) -> None:
+        if self.default_queue < 1:
+            raise DslError(
+                f"default queue capacity must be >= 1, got {self.default_queue}"
+            )
+        seen: set[str] = set()
+        for shell in self.shells:
+            shell.validate()
+            if shell.name in seen:
+                raise DslError(f"duplicate shell name {shell.name!r}")
+            seen.add(shell.name)
+        for channel in self.channels:
+            channel.validate()
+            for endpoint in (channel.src, channel.dst):
+                if endpoint not in seen:
+                    raise DslError(
+                        f"channel {channel.src}->{channel.dst} references "
+                        f"undeclared shell {endpoint!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shell_names(self) -> list[str]:
+        return [shell.name for shell in self.shells]
+
+    def channel_id(self, src: str, dst: str) -> int:
+        """The id of the unique channel ``src -> dst``."""
+        matches = [
+            cid
+            for cid, ch in enumerate(self.channels)
+            if ch.src == src and ch.dst == dst
+        ]
+        if len(matches) != 1:
+            raise DslError(
+                f"expected one channel {src}->{dst}, found {len(matches)}"
+            )
+        return matches[0]
+
+    def __iter__(self) -> Iterator[ChannelDecl]:
+        return iter(self.channels)
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def lower(self) -> LisGraph:
+        """Lower to a frozen :class:`LisGraph` in declaration order.
+
+        Shells and channels are added exactly in the order they were
+        declared, so the canonical JSON form -- and therefore the
+        Context fingerprint and every engine cache key -- is
+        byte-identical to the equivalent hand-built graph.
+        """
+        lis = LisGraph(default_queue=self.default_queue)
+        for shell in self.shells:
+            lis.add_shell(shell.name, latency=shell.latency)
+        for channel in self.channels:
+            lis.add_channel(
+                channel.src,
+                channel.dst,
+                queue=channel.queue,
+                relays=channel.relays,
+            )
+        return lis.freeze()
+
+    def context(self) -> "Context":
+        """The shared analysis :class:`~repro.analysis.Context` of the
+        lowered system (registry-deduplicated by content fingerprint)."""
+        from ..analysis import get_context
+
+        return get_context(self.lower())
+
+    def fingerprint(self) -> str:
+        """Content fingerprint of the lowered system -- identical to
+        the fingerprint of the equivalent hand-built graph."""
+        return self.lower().fingerprint()
+
+    @property
+    def __lis_decl__(self) -> "SystemDecl":
+        """Duck-typed marker consumed by :func:`repro.analysis.get_context`."""
+        return self
+
+
+@dataclass
+class SystemBuilder:
+    """Imperative construction of a :class:`SystemDecl`.
+
+    The programmatic twin of the ``@system`` class decorator, for
+    systems whose shape is data (mesh NoCs, generated SoCs)::
+
+        b = SystemBuilder("mesh2x2")
+        for r in range(2):
+            for c in range(2):
+                b.shell(f"m{r}_{c}")
+        b.channel("m0_0", "m0_1")
+        ...
+        decl = b.build()
+    """
+
+    name: str = "system"
+    default_queue: int = 1
+    _shells: list[ShellDecl] = field(default_factory=list)
+    _channels: list[ChannelDecl] = field(default_factory=list)
+    _names: set[str] = field(default_factory=set)
+
+    def shell(self, name: str, latency: int = 1) -> str:
+        """Declare a shell; returns its name for convenience."""
+        decl = ShellDecl(name, latency)
+        decl.validate()
+        if name in self._names:
+            raise DslError(f"duplicate shell name {name!r}")
+        self._names.add(name)
+        self._shells.append(decl)
+        return name
+
+    def channel(
+        self,
+        src: str,
+        dst: str,
+        queue: int | None = None,
+        relays: int = 0,
+    ) -> int:
+        """Declare a channel; returns its channel id (declaration index)."""
+        decl = ChannelDecl(src, dst, queue=queue, relays=relays)
+        decl.validate()
+        for endpoint in (src, dst):
+            if endpoint not in self._names:
+                raise DslError(
+                    f"channel {src}->{dst} references undeclared shell "
+                    f"{endpoint!r}"
+                )
+        self._channels.append(decl)
+        return len(self._channels) - 1
+
+    def include(self, sub: "SystemDecl | SystemBuilder", prefix: str = "") -> None:
+        """Splice another description in, prefixing its shell names
+        with ``prefix`` + ``"."`` (or verbatim when ``prefix`` is empty)
+        -- the flattening primitive behind hierarchical composition."""
+        decl = to_system_decl(sub)
+        join = (lambda n: f"{prefix}{SEP}{n}") if prefix else (lambda n: n)
+        for shell in decl.shells:
+            self.shell(join(shell.name), latency=shell.latency)
+        for channel in decl.channels:
+            queue = channel.queue
+            if queue is None and decl.default_queue != self.default_queue:
+                queue = decl.default_queue
+            self.channel(
+                join(channel.src),
+                join(channel.dst),
+                queue=queue,
+                relays=channel.relays,
+            )
+
+    def build(self, name: str | None = None) -> SystemDecl:
+        return SystemDecl(
+            name=name or self.name,
+            shells=tuple(self._shells),
+            channels=tuple(self._channels),
+            default_queue=self.default_queue,
+        )
+
+
+def to_system_decl(obj: object) -> SystemDecl:
+    """Coerce any DSL root -- a :class:`SystemDecl`, a ``@system``
+    class, a :class:`SystemBuilder` -- to its :class:`SystemDecl`."""
+    if isinstance(obj, SystemDecl):
+        return obj
+    if isinstance(obj, SystemBuilder):
+        return obj.build()
+    decl = getattr(obj, "__lis_decl__", None)
+    if isinstance(decl, SystemDecl):
+        return decl
+    raise DslError(
+        f"not a declarative system description: {obj!r} (expected a "
+        f"SystemDecl, a SystemBuilder, or an @system-decorated class)"
+    )
+
+
+def decl_from_lis(lis: LisGraph, name: str = "system") -> SystemDecl:
+    """Reverse lowering: the :class:`SystemDecl` describing an existing
+    graph (shell names are stringified, matching the JSON format)."""
+    shells = tuple(
+        ShellDecl(str(shell), latency=lis.latency(shell))
+        for shell in lis.shells()
+    )
+    channels: list[ChannelDecl] = []
+    for channel in lis.channels():
+        queue: int | None = channel.data["queue"]
+        if queue == lis.default_queue:
+            queue = None
+        channels.append(
+            ChannelDecl(
+                str(channel.src),
+                str(channel.dst),
+                queue=queue,
+                relays=channel.data["relays"],
+            )
+        )
+    return SystemDecl(
+        name=name,
+        shells=shells,
+        channels=tuple(channels),
+        default_queue=lis.default_queue,
+    )

@@ -1,0 +1,508 @@
+"""Class-decorator frontend: declare a LIS the way the paper draws one.
+
+Shells, channels, queue capacities and relay-station hints are Python
+class bodies instead of ad-hoc graph construction::
+
+    from repro.dsl import Channel, Port, shell, system
+
+    @shell
+    class Core:                      # a latency-1 shell template
+        din = Port.input()
+        dout = Port.output()
+
+    @system
+    class Fig15:                     # the paper's Fig. 15
+        A = Core(); B = Core(); C = Core(); D = Core(); E = Core()
+        ae = Channel(A, E, relays=1)     # relay-station hint
+        ed = Channel(E, D)
+        dc = Channel(D, C)
+        cb = Channel(C, B)
+        ba = Channel(B, A)
+        ac = Channel(A, C)
+        ce = Channel(C, E)
+
+    Fig15.lower()         # frozen LisGraph, fingerprint-identical to
+                          # the hand-built repro.gen.fig15_lis()
+    Fig15.context()       # shared analysis Context (cache applies)
+
+Declaration order is meaning: shells and channels lower in the order
+they appear in the class body, so the content fingerprint -- and with
+it every engine cache key -- is byte-identical to the equivalent
+hand-built :class:`~repro.core.lis_graph.LisGraph`.
+
+Hierarchy: an ``@system`` class instantiated inside another system
+body becomes a subsystem; its shells flatten with dot-joined names
+(``up.s0``), or merge into the parent namespace with ``inline=True``.
+Channels may cross levels by reaching through instance attributes
+(``Channel(up.s0, down.d0)``).
+
+Ports are the typed wiring surface: a channel connects an ``out`` port
+to an ``in`` port (direction-checked at compile time); naming the port
+is optional when the shell has exactly one in the needed direction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from .decl import SEP, ChannelDecl, DslError, SystemBuilder, SystemDecl
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.context import Context
+    from ..core.lis_graph import LisGraph
+
+__all__ = [
+    "Port",
+    "Channel",
+    "shell",
+    "system",
+    "ShellType",
+    "SystemType",
+]
+
+
+class Port:
+    """A typed, directional connection point on a shell template.
+
+    Purely a frontend device: the lowered graph has no port objects,
+    but declaring them catches reversed channels (``in`` driven as a
+    source, ``out`` used as a sink) at compile time and gives the RTL
+    exporter its interface names.
+    """
+
+    def __init__(self, direction: str) -> None:
+        if direction not in ("in", "out"):
+            raise DslError(f"port direction must be 'in' or 'out', got {direction!r}")
+        self.direction = direction
+        self.name = ""
+
+    @classmethod
+    def input(cls) -> "Port":
+        return cls("in")
+
+    @classmethod
+    def output(cls) -> "Port":
+        return cls("out")
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Port.{'input' if self.direction == 'in' else 'output'}() '{self.name}'"
+
+
+class ShellType:
+    """A shell template produced by the :func:`shell` decorator.
+
+    Calling it inside a system body creates a :class:`ShellInst`: the
+    attribute name becomes the shell's name unless overridden."""
+
+    def __init__(self, name: str, latency: int, ports: tuple[Port, ...], doc: str | None) -> None:
+        self.__name__ = name
+        self.latency = latency
+        self.ports = ports
+        self.__doc__ = doc
+
+    def port(self, name: str) -> Port:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        raise DslError(f"shell type {self.__name__!r} has no port {name!r}")
+
+    def default_port(self, direction: str) -> Port | None:
+        """The unique port in ``direction``, if unambiguous."""
+        matching = [p for p in self.ports if p.direction == direction]
+        if len(matching) == 1:
+            return matching[0]
+        if not matching and not self.ports:
+            return None  # portless template: wiring is unchecked
+        raise DslError(
+            f"shell type {self.__name__!r} has {len(matching)} "
+            f"{direction!r} ports; name one explicitly (e.g. "
+            f"inst.port_name)"
+        )
+
+    def __call__(
+        self, name: str | None = None, latency: int | None = None
+    ) -> "ShellInst":
+        return ShellInst(self, name=name, latency=latency)
+
+    def __repr__(self) -> str:
+        return f"@shell {self.__name__} (latency={self.latency})"
+
+
+class ShellInst:
+    """One shell in a system body: an instantiated :class:`ShellType`."""
+
+    def __init__(
+        self, type_: ShellType, name: str | None, latency: int | None
+    ) -> None:
+        self._type = type_
+        self._explicit_name = name
+        self._attr_name: str | None = None
+        self.latency = type_.latency if latency is None else latency
+        if self.latency < 1:
+            raise DslError(f"core latency must be >= 1, got {self.latency}")
+
+    @property
+    def type(self) -> ShellType:
+        return self._type
+
+    @property
+    def name(self) -> str:
+        name = self._explicit_name or self._attr_name
+        if not name:
+            raise DslError(
+                f"shell of type {self._type.__name__!r} was never named: "
+                f"assign it to a class attribute or pass name=..."
+            )
+        return name
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        if self._attr_name is None:
+            self._attr_name = name
+
+    def __getattr__(self, name: str) -> "PortRef":
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return PortRef((self,), self._type.port(name))
+
+    def __repr__(self) -> str:
+        label = self._explicit_name or self._attr_name or "<unnamed>"
+        return f"{self._type.__name__}({label!r})"
+
+
+class PortRef:
+    """A reference to one port of one shell, possibly reached through a
+    chain of subsystem instances (``path`` ends with the ShellInst)."""
+
+    def __init__(self, path: tuple[Any, ...], port: Port | None) -> None:
+        self.path = path
+        self.port = port
+
+    @property
+    def shell(self) -> ShellInst:
+        tail = self.path[-1]
+        assert isinstance(tail, ShellInst)
+        return tail
+
+
+class Channel:
+    """A point-to-point channel between two shells (or their ports).
+
+    ``src``/``dst`` accept a :class:`ShellInst`, a port reference
+    (``inst.dout``), or either reached through subsystem instances
+    (``up.s0`` / ``up.s0.dout``).  ``queue`` is the consumer-side
+    input-queue capacity (default: the system's ``default_queue``);
+    ``relays`` is the relay-station hint for the channel's wires.
+    """
+
+    def __init__(
+        self,
+        src: "ShellInst | PortRef",
+        dst: "ShellInst | PortRef",
+        queue: int | None = None,
+        relays: int = 0,
+    ) -> None:
+        self.src = _as_port_ref(src, "out")
+        self.dst = _as_port_ref(dst, "in")
+        self.queue = queue
+        self.relays = relays
+        ChannelDecl("src", "dst", queue=queue, relays=relays).validate()
+        for ref, direction, role in (
+            (self.src, "out", "source"),
+            (self.dst, "in", "destination"),
+        ):
+            if ref.port is not None and ref.port.direction != direction:
+                raise DslError(
+                    f"channel {role} {ref.shell!r}.{ref.port.name} is an "
+                    f"{ref.port.direction!r} port (need {direction!r})"
+                )
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        # Channels may be named class attributes for readability; the
+        # name is documentation only (ids are declaration order).
+        self.label = name
+
+
+def _as_port_ref(endpoint: "ShellInst | PortRef", direction: str) -> PortRef:
+    if isinstance(endpoint, PortRef):
+        if endpoint.port is None:
+            port = endpoint.shell.type.default_port(direction)
+            return PortRef(endpoint.path, port)
+        return endpoint
+    if isinstance(endpoint, ShellInst):
+        return PortRef((endpoint,), endpoint.type.default_port(direction))
+    raise DslError(
+        f"channel endpoint must be a shell instance or a port "
+        f"reference, got {endpoint!r}"
+    )
+
+
+class SystemInst:
+    """One subsystem in a system body: an instantiated :class:`SystemType`."""
+
+    def __init__(
+        self, type_: "SystemType", name: str | None, inline: bool
+    ) -> None:
+        self._type = type_
+        self._explicit_name = name
+        self._attr_name: str | None = None
+        self.inline = inline
+
+    @property
+    def type(self) -> "SystemType":
+        return self._type
+
+    @property
+    def name(self) -> str:
+        if self.inline:
+            return ""
+        name = self._explicit_name or self._attr_name
+        if not name:
+            raise DslError(
+                f"subsystem of type {self._type.__name__!r} was never "
+                f"named: assign it to a class attribute or pass name=..."
+            )
+        return name
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        if self._attr_name is None:
+            self._attr_name = name
+
+    def __getattr__(self, name: str) -> "ShellInst | SystemInst | PortRef":
+        if name.startswith("_"):
+            raise AttributeError(name)
+        member = self._type.member(name)
+        if isinstance(member, ShellInst):
+            return _BoundShell((self,), member)
+        if isinstance(member, SystemInst):
+            return _BoundSystem((self, member), member)
+        raise AttributeError(name)
+
+    def __repr__(self) -> str:
+        label = self._explicit_name or self._attr_name or "<unnamed>"
+        return f"{self._type.__name__}({label!r})"
+
+
+class _BoundShell(PortRef):
+    """``sub.s0``: a shell reached through subsystem instances.  It is
+    itself a :class:`PortRef` with no port chosen yet, and port access
+    (``sub.s0.dout``) narrows it."""
+
+    def __init__(self, prefix: tuple[Any, ...], shell_inst: ShellInst) -> None:
+        super().__init__(prefix + (shell_inst,), None)
+
+    def __getattr__(self, name: str) -> PortRef:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return PortRef(self.path, self.shell.type.port(name))
+
+
+class _BoundSystem:
+    """``outer.inner``: a subsystem reached through instances."""
+
+    def __init__(self, prefix: tuple[Any, ...], inst: SystemInst) -> None:
+        self._prefix = prefix
+        self._inst = inst
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        member = self._inst.type.member(name)
+        if isinstance(member, ShellInst):
+            return _BoundShell(self._prefix, member)
+        if isinstance(member, SystemInst):
+            return _BoundSystem(self._prefix + (member,), member)
+        raise AttributeError(name)
+
+
+class SystemType:
+    """A system produced by the :func:`system` decorator.
+
+    The class body compiles (lazily, once) to a flat
+    :class:`~repro.dsl.decl.SystemDecl`; calling the type creates a
+    :class:`SystemInst` for composition inside another system."""
+
+    def __init__(
+        self,
+        name: str,
+        default_queue: int,
+        items: tuple[tuple[str, Any], ...],
+        doc: str | None,
+    ) -> None:
+        self.__name__ = name
+        self.default_queue = default_queue
+        self._items = items
+        self.__doc__ = doc
+        self._decl: SystemDecl | None = None
+
+    # -- composition ----------------------------------------------------
+    def __call__(
+        self, name: str | None = None, inline: bool = False
+    ) -> SystemInst:
+        return SystemInst(self, name=name, inline=inline)
+
+    def member(self, name: str) -> Any:
+        for attr, value in self._items:
+            if attr == name:
+                return value
+        raise DslError(f"system {self.__name__!r} has no member {name!r}")
+
+    # -- compilation ----------------------------------------------------
+    @property
+    def decl(self) -> SystemDecl:
+        if self._decl is None:
+            builder = SystemBuilder(
+                name=self.__name__, default_queue=self.default_queue
+            )
+            _emit(self, "", builder)
+            self._decl = builder.build()
+        return self._decl
+
+    @property
+    def __lis_decl__(self) -> SystemDecl:
+        return self.decl
+
+    def lower(self) -> "LisGraph":
+        """The frozen :class:`~repro.core.lis_graph.LisGraph`."""
+        return self.decl.lower()
+
+    def context(self) -> "Context":
+        """The shared analysis :class:`~repro.analysis.Context`."""
+        return self.decl.context()
+
+    def fingerprint(self) -> str:
+        return self.decl.fingerprint()
+
+    def channel_id(self, src: str, dst: str) -> int:
+        return self.decl.channel_id(src, dst)
+
+    def __repr__(self) -> str:
+        return f"@system {self.__name__}"
+
+
+def _join(prefix: str, name: str) -> str:
+    if not prefix:
+        return name
+    if not name:
+        return prefix
+    return f"{prefix}{SEP}{name}"
+
+
+def _flat_shell_name(systype: SystemType, prefix: str, ref: PortRef) -> str:
+    """Resolve a channel endpoint declared in ``systype``'s body to the
+    flattened shell name under ``prefix``."""
+    segments: list[str] = []
+    members = {id(value) for _, value in systype._items}
+    scope: SystemType = systype
+    for element in ref.path:
+        if id(element) not in members:
+            raise DslError(
+                f"channel endpoint {element!r} is not declared in "
+                f"system {scope.__name__!r}"
+            )
+        if isinstance(element, SystemInst):
+            segments.append(element.name)
+            scope = element.type
+            members = {id(value) for _, value in scope._items}
+        elif isinstance(element, ShellInst):
+            segments.append(element.name)
+        else:  # pragma: no cover - PortRef paths only hold insts
+            raise DslError(f"bad channel endpoint element {element!r}")
+    flat = prefix
+    for segment in segments:
+        flat = _join(flat, segment)
+    return flat
+
+
+def _emit(systype: SystemType, prefix: str, builder: SystemBuilder) -> None:
+    """Flatten ``systype`` under ``prefix`` into ``builder``, walking
+    the class body in declaration order (shells, subsystems, channels
+    interleave exactly as written)."""
+    for _attr, value in systype._items:
+        if isinstance(value, ShellInst):
+            builder.shell(
+                _join(prefix, value.name), latency=value.latency
+            )
+        elif isinstance(value, SystemInst):
+            _emit(value.type, _join(prefix, value.name), builder)
+        elif isinstance(value, Channel):
+            builder.channel(
+                _flat_shell_name(systype, prefix, value.src),
+                _flat_shell_name(systype, prefix, value.dst),
+                queue=value.queue,
+                relays=value.relays,
+            )
+        else:
+            for item in value:
+                builder.channel(
+                    _flat_shell_name(systype, prefix, item.src),
+                    _flat_shell_name(systype, prefix, item.dst),
+                    queue=item.queue,
+                    relays=item.relays,
+                )
+
+
+def shell(
+    cls: type | None = None, *, latency: int = 1
+) -> "ShellType | Callable[[type], ShellType]":
+    """Class decorator declaring a shell template.
+
+    The class body declares typed ports (:class:`Port`); ``latency`` is
+    the core's pipeline depth in clock periods (the paper's footnote 3).
+    Use with or without arguments::
+
+        @shell
+        class Core:
+            din = Port.input()
+            dout = Port.output()
+
+        @shell(latency=3)
+        class Multiplier:
+            a = Port.input()
+            b = Port.input()
+            p = Port.output()
+    """
+
+    def wrap(cls: type) -> ShellType:
+        if latency < 1:
+            raise DslError(f"core latency must be >= 1, got {latency}")
+        ports = tuple(
+            value for value in vars(cls).values() if isinstance(value, Port)
+        )
+        return ShellType(cls.__name__, latency, ports, cls.__doc__)
+
+    return wrap if cls is None else wrap(cls)
+
+
+def system(
+    cls: type | None = None, *, default_queue: int = 1
+) -> "SystemType | Callable[[type], SystemType]":
+    """Class decorator declaring a system of shells and channels.
+
+    The body's declaration order is the lowering order: shells and
+    channels are added to the graph exactly as written, so fingerprints
+    match the equivalent hand-built construction.  Accepts shell
+    instances, subsystem instances (hierarchical composition), single
+    :class:`Channel` attributes, and lists/tuples of channels.
+    """
+
+    def wrap(cls: type) -> SystemType:
+        items: list[tuple[str, Any]] = []
+        for attr, value in vars(cls).items():
+            if isinstance(value, (ShellInst, SystemInst, Channel)):
+                items.append((attr, value))
+            elif isinstance(value, (list, tuple)) and value and all(
+                isinstance(item, Channel) for item in value
+            ):
+                items.append((attr, tuple(value)))
+        systype = SystemType(
+            cls.__name__, default_queue, tuple(items), cls.__doc__
+        )
+        # Compile eagerly: declaration errors (duplicate names, bad
+        # wiring, reversed ports) surface at class-definition time.
+        systype.decl
+        return systype
+
+    return wrap if cls is None else wrap(cls)

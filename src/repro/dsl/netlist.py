@@ -1,0 +1,325 @@
+"""Backend-neutral structural netlist of a latency-insensitive system.
+
+:func:`build_netlist` expands a :class:`~repro.core.lis_graph.LisGraph`
+into the exact queue/node structure :class:`~repro.lis.rtl_sim.RtlSimulator`
+instantiates -- one receive queue per channel hop (capacity ``queue +
+extra + 1`` at the consumer shell, 2 inside a relay station), one
+two-slot elastic segment per internal pipeline stage of a multi-cycle
+core -- but as *data*, with no behaviour attached.  Two backends
+consume it:
+
+* :class:`NetlistSimulator` -- a pure-Python occupancy-count evaluator
+  (fire when every input queue is non-empty and every output queue is
+  non-full; registered-stop semantics).  It produces a
+  :class:`~repro.lis.protocol.Trace` and plugs into the differential
+  harness (``differential_check(..., check_netlist=True)``) as a
+  fourth simulator voice, pinned firing-for-firing against
+  ``RtlSimulator``.
+* :mod:`repro.dsl.rtl` -- the SystemVerilog emitter, which turns every
+  :class:`NetQueue` into a ``lis_channel_queue`` instance with the same
+  ``DEPTH``/``RESET_TOKENS`` parameters and every node's fire rule into
+  the corresponding valid/stop logic.
+
+Because both backends read the *same* structure, the Python evaluator
+is a cycle-exact model of the emitted RTL by construction: the
+differential tests that pin ``NetlistSimulator`` to ``RtlSimulator``,
+``TraceSimulator`` and the analytic schedule oracle transitively pin
+the SystemVerilog semantics too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Hashable
+
+from ..core.lis_graph import LisGraph
+from ..core.naming import relay_name, stage_name
+from ..lis.protocol import TAU, Trace
+
+__all__ = [
+    "NetQueue",
+    "NetNode",
+    "Netlist",
+    "NetlistSimulator",
+    "build_netlist",
+    "simulate_netlist",
+]
+
+
+@dataclass(frozen=True)
+class NetQueue:
+    """One physical receive queue: a hop of a channel or a pipeline
+    stage segment inside a multi-cycle core.
+
+    ``channel`` is the owning channel id for real channel hops and
+    ``None`` for internal latency segments.  ``hop`` numbers the hops
+    of one channel from the producer (0) to the consumer; ``final``
+    marks the hop whose queue lives at the consumer *shell* (the one
+    whose occupancy the queue-sizing problem bounds).  ``reset_tokens``
+    is 1 exactly for final hops: the marked graph's initial token --
+    the data the shell transfers in the first clock period is already
+    latched at reset.
+    """
+
+    index: int
+    producer: Hashable
+    consumer: Hashable
+    capacity: int
+    reset_tokens: int
+    channel: int | None = None
+    hop: int = 0
+    final: bool = False
+
+
+@dataclass(frozen=True)
+class NetNode:
+    """One firing element: a shell core, a relay station, or one
+    internal pipeline stage of a multi-cycle core.
+
+    ``inputs``/``outputs`` are indices into :attr:`Netlist.queues`.
+    The fire rule is uniform: the node fires in a clock period iff
+    every input queue is non-empty and every output queue is non-full
+    at the start of the period (AND-firing with registered stop).
+    """
+
+    name: Hashable
+    kind: str  # "shell" | "relay" | "stage"
+    inputs: tuple[int, ...]
+    outputs: tuple[int, ...]
+    latency: int = 1
+
+
+@dataclass(frozen=True)
+class Netlist:
+    """The complete structural expansion of one LIS."""
+
+    lis: LisGraph
+    nodes: tuple[NetNode, ...]
+    queues: tuple[NetQueue, ...]
+
+    def node(self, name: Hashable) -> NetNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(name)
+
+    def shells(self) -> list[NetNode]:
+        return [node for node in self.nodes if node.kind == "shell"]
+
+    def channel_hops(self, channel: int) -> list[NetQueue]:
+        """The hop queues of ``channel``, producer-side first."""
+        hops = [q for q in self.queues if q.channel == channel]
+        return sorted(hops, key=lambda q: q.hop)
+
+
+def build_netlist(
+    lis: LisGraph, extra_tokens: dict[int, int] | None = None
+) -> Netlist:
+    """Expand ``lis`` into its structural netlist.
+
+    Node and queue construction order matches
+    :class:`~repro.lis.rtl_sim.RtlSimulator` exactly: shells (with
+    their internal stage segments) in declaration order, then channels
+    in channel-id order with their relay-station hops.
+    """
+    extra = dict(extra_tokens or {})
+    nodes: list[tuple[Hashable, str, int]] = []  # (name, kind, latency)
+    inputs: dict[Hashable, list[int]] = {}
+    outputs: dict[Hashable, list[int]] = {}
+    queues: list[NetQueue] = []
+
+    def declare(name: Hashable, kind: str, latency: int = 1) -> None:
+        nodes.append((name, kind, latency))
+        inputs[name] = []
+        outputs[name] = []
+
+    def connect(
+        producer: Hashable,
+        consumer: Hashable,
+        capacity: int,
+        reset_tokens: int,
+        channel: int | None = None,
+        hop: int = 0,
+        final: bool = False,
+    ) -> None:
+        queue = NetQueue(
+            index=len(queues),
+            producer=producer,
+            consumer=consumer,
+            capacity=capacity,
+            reset_tokens=reset_tokens,
+            channel=channel,
+            hop=hop,
+            final=final,
+        )
+        queues.append(queue)
+        outputs[producer].append(queue.index)
+        inputs[consumer].append(queue.index)
+
+    tails: dict[Hashable, Hashable] = {}
+    for shell in lis.shells():
+        declare(shell, "shell", lis.latency(shell))
+        previous: Hashable = shell
+        for i in range(lis.latency(shell) - 1):
+            stage = stage_name(shell, i)
+            declare(stage, "stage")
+            # Two-slot elastic stage, mirroring the marked-graph
+            # lowering (a one-deep register would halve the rate).
+            connect(previous, stage, capacity=2, reset_tokens=0)
+            previous = stage
+        tails[shell] = previous
+
+    for channel in lis.channels():
+        hops: list[Hashable] = [tails[channel.src]]
+        for i in range(channel.data["relays"]):
+            rs = relay_name(channel.key, i)
+            declare(rs, "relay")
+            hops.append(rs)
+        hops.append(channel.dst)
+        for i in range(len(hops) - 1):
+            final = i == len(hops) - 2
+            # A shell accepts q queued items plus the one in its input
+            # latch (the marked graph's initial token, occupying the
+            # queue at reset); a relay station is its own two-slot
+            # buffer that resets to void.
+            capacity = (
+                channel.data["queue"] + extra.get(channel.key, 0) + 1
+                if final
+                else 2
+            )
+            connect(
+                hops[i],
+                hops[i + 1],
+                capacity=capacity,
+                reset_tokens=1 if final else 0,
+                channel=channel.key,
+                hop=i,
+                final=final,
+            )
+
+    return Netlist(
+        lis=lis,
+        nodes=tuple(
+            NetNode(
+                name=name,
+                kind=kind,
+                inputs=tuple(inputs[name]),
+                outputs=tuple(outputs[name]),
+                latency=latency,
+            )
+            for name, kind, latency in nodes
+        ),
+        queues=tuple(queues),
+    )
+
+
+@dataclass
+class NetlistSimulator:
+    """Occupancy-count evaluation of a :class:`Netlist`.
+
+    The cheapest of the simulator voices: no data values flow, only
+    queue occupancies.  One clock period evaluates every node's fire
+    predicate against start-of-cycle occupancies, then applies all
+    pops and pushes at once -- exactly the registered-stop semantics
+    of the structural simulator and of the emitted SystemVerilog
+    (whose ``lis_channel_queue`` counts update on the clock edge).
+
+    Firing-compatible with the other backends: :attr:`trace` records
+    per-clock fired flags for every node under the shared canonical
+    names, and :meth:`max_queue_occupancy` uses the same accounting as
+    ``RtlSimulator`` (the reset token counts as one item).
+    """
+
+    netlist: Netlist
+    occupancy: list[int] = field(init=False)
+    trace: Trace = field(init=False)
+    clock: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.occupancy = [q.reset_tokens for q in self.netlist.queues]
+        self.trace = Trace()
+        self._final_queues: list[tuple[int, int]] = [
+            (q.index, q.channel)
+            for q in self.netlist.queues
+            if q.final and q.channel is not None
+        ]
+        self._max_occupancy: dict[int, int] = {
+            channel: self.occupancy[index]
+            for index, channel in self._final_queues
+        }
+
+    @classmethod
+    def from_lis(
+        cls,
+        lis: LisGraph,
+        behaviors: object = None,
+        extra_tokens: dict[int, int] | None = None,
+    ) -> "NetlistSimulator":
+        """Constructor matching the other simulators' signature.
+
+        ``behaviors`` must be ``None``: the netlist evaluator models
+        the protocol only, no data values flow through it.
+        """
+        if behaviors is not None:
+            raise ValueError(
+                "NetlistSimulator models firing only; core behaviors "
+                "are not supported"
+            )
+        return cls(build_netlist(lis, extra_tokens))
+
+    def step(self) -> set[Hashable]:
+        """One clock period with registered-stop semantics."""
+        occ = self.occupancy
+        queues = self.netlist.queues
+        fired: set[Hashable] = set()
+        decisions: list[NetNode] = []
+        for node in self.netlist.nodes:
+            if all(occ[i] > 0 for i in node.inputs) and all(
+                occ[i] < queues[i].capacity for i in node.outputs
+            ):
+                decisions.append(node)
+                fired.add(node.name)
+        for node in decisions:
+            for i in node.inputs:
+                occ[i] -= 1
+            for i in node.outputs:
+                occ[i] += 1
+        for index, channel in self._final_queues:
+            if occ[index] > self._max_occupancy[channel]:
+                self._max_occupancy[channel] = occ[index]
+        for node in self.netlist.nodes:
+            self.trace.record(node.name, TAU, node.name in fired)
+        self.trace.clocks += 1
+        self.clock += 1
+        return fired
+
+    def run(self, clocks: int) -> Trace:
+        for _ in range(clocks):
+            self.step()
+        return self.trace
+
+    def throughput(self, shell: Hashable, skip: int = 0) -> Fraction:
+        return self.trace.throughput(shell, skip=skip)
+
+    def firing_counts(self) -> dict[Hashable, int]:
+        """Total firings per node over the clocks simulated so far."""
+        return {
+            node.name: sum(self.trace.fired[node.name])
+            for node in self.netlist.nodes
+        }
+
+    def max_queue_occupancy(self) -> dict[int, int]:
+        """Peak occupancy per channel's shell input queue, counting
+        the reset token as one item -- the same accounting as
+        ``RtlSimulator.max_queue_occupancy``."""
+        return dict(self._max_occupancy)
+
+
+def simulate_netlist(
+    lis: LisGraph,
+    clocks: int,
+    extra_tokens: dict[int, int] | None = None,
+) -> Trace:
+    """Convenience wrapper: build a :class:`NetlistSimulator` and run it."""
+    return NetlistSimulator.from_lis(lis, None, extra_tokens).run(clocks)

@@ -43,7 +43,8 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Iterable, Mapping, Sequence
 
-from ..core.lis_graph import LisGraph, relay_name, stage_name
+from ..core.lis_graph import LisGraph
+from ..core.naming import sink_shells, source_shells, structural_nodes
 from ..lis.protocol import ShellBehavior
 
 if TYPE_CHECKING:
@@ -185,38 +186,10 @@ def relay_jitter(seed: int = 0, horizon: int = 48, density: float = 0.25) -> Fau
     return FaultSpec("relay-jitter", seed=seed, horizon=horizon, density=density)
 
 
-def structural_nodes(lis: LisGraph) -> list[Hashable]:
-    """Every node of the practical LIS under the uniform naming shared
-    by all three simulator backends: shells, internal pipeline stages
-    (``("stage", shell, i)``), and relay stations (``("rs", cid, i)``),
-    sorted by repr for deterministic RNG consumption."""
-    nodes: list[Hashable] = []
-    for shell in lis.shells():
-        nodes.append(shell)
-        for i in range(lis.latency(shell) - 1):
-            nodes.append(stage_name(shell, i))
-    for channel in lis.channels():
-        for i in range(channel.data["relays"]):
-            nodes.append(relay_name(channel.key, i))
-    return sorted(nodes, key=repr)
-
-
-def source_shells(lis: LisGraph) -> list[Hashable]:
-    """Environment sources (shells with no system in-edges), repr-
-    sorted; the whole shell set when the system has none.  Shared
-    target rule of ``void-storm`` faults and ``scope="sources"``
-    stochastic specs."""
-    shells = list(lis.shells())
-    sources = [s for s in shells if not list(lis.system.in_edges(s))]
-    return sorted(sources or shells, key=repr)
-
-
-def sink_shells(lis: LisGraph) -> list[Hashable]:
-    """Environment sinks (shells with no system out-edges), repr-
-    sorted; the whole shell set when the system has none."""
-    shells = list(lis.shells())
-    sinks = [s for s in shells if not list(lis.system.out_edges(s))]
-    return sorted(sinks or shells, key=repr)
+# structural_nodes / source_shells / sink_shells now live in
+# repro.core.naming (one canonical node-naming module shared with the
+# simulators, the stochastic layer, and the DSL lowering); they are
+# re-exported here because fault specs are their historical home.
 
 
 def _rng(spec: FaultSpec, salt: str = "") -> random.Random:

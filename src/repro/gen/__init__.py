@@ -19,7 +19,21 @@ from .examples import (
     uplink_downlink_lis,
 )
 
+# The declarative twins pull in repro.dsl; resolve them lazily so
+# importing repro.gen stays free of the DSL module tree.
+_DECLARATIVE_EXPORTS = {"DECLARATIVE_TWINS", "twin_fingerprints", "verify_twin"}
+
+
+def __getattr__(name):
+    if name in _DECLARATIVE_EXPORTS:
+        from . import declarative
+
+        return getattr(declarative, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "DECLARATIVE_TWINS",
     "GeneratorConfig",
     "GeneratorError",
     "generate_lis",
@@ -32,5 +46,7 @@ __all__ = [
     "fig15_lis",
     "ring_lis",
     "tree_lis",
+    "twin_fingerprints",
     "uplink_downlink_lis",
+    "verify_twin",
 ]

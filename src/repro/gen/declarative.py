@@ -1,0 +1,77 @@
+"""Declarative twins of the built-in example factories.
+
+Every entry pairs a hand-built :mod:`repro.gen` / :mod:`repro.soc`
+factory with the :mod:`repro.dsl` declaration that lowers to the very
+same graph -- same shells, same channel ids, same canonical JSON,
+**byte-identical fingerprint**.  The round-trip regression suite
+iterates this table, so the two spellings can never drift apart; the
+CLI uses it to resolve ``--dsl``-side names for systems that also
+exist as classic factories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.lis_graph import LisGraph
+from ..dsl.corpus import corpus_system
+from ..dsl.decl import SystemDecl
+from .examples import (
+    fig1_lis,
+    fig2_right_lis,
+    fig15_lis,
+    ring_lis,
+    uplink_downlink_lis,
+)
+from .generator import mesh_lis, torus_lis
+
+__all__ = ["DECLARATIVE_TWINS", "twin_fingerprints", "verify_twin"]
+
+
+def _cofdm() -> LisGraph:
+    from ..soc.cofdm import cofdm_transmitter
+
+    return cofdm_transmitter()
+
+
+def _cofdm_fig19() -> LisGraph:
+    from ..soc.cofdm import fig19_scenario
+
+    return fig19_scenario()
+
+
+#: ``corpus name -> (hand-built factory, declarative factory)``.
+DECLARATIVE_TWINS: dict[
+    str, tuple[Callable[[], LisGraph], Callable[[], SystemDecl]]
+] = {
+    "fig1": (fig1_lis, lambda: corpus_system("fig1")),
+    "fig2_right": (fig2_right_lis, lambda: corpus_system("fig2_right")),
+    "fig15": (fig15_lis, lambda: corpus_system("fig15")),
+    "uplink_downlink": (
+        uplink_downlink_lis,
+        lambda: corpus_system("uplink_downlink"),
+    ),
+    "cofdm": (_cofdm, lambda: corpus_system("cofdm")),
+    "cofdm_fig19": (_cofdm_fig19, lambda: corpus_system("cofdm_fig19")),
+    "mesh3x3": (lambda: mesh_lis(3, 3), lambda: corpus_system("mesh3x3")),
+    "torus4x4": (
+        lambda: torus_lis(4, 4),
+        lambda: corpus_system("torus4x4"),
+    ),
+    "ring8": (
+        lambda: ring_lis(8, relays=2),
+        lambda: corpus_system("ring8"),
+    ),
+}
+
+
+def twin_fingerprints(name: str) -> tuple[str, str]:
+    """``(hand-built fingerprint, DSL fingerprint)`` for one twin."""
+    hand, decl = DECLARATIVE_TWINS[name]
+    return hand().freeze().fingerprint(), decl().fingerprint()
+
+
+def verify_twin(name: str) -> bool:
+    """True iff the two spellings produce byte-identical fingerprints."""
+    left, right = twin_fingerprints(name)
+    return left == right

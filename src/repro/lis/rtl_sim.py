@@ -32,7 +32,8 @@ from collections import deque
 from fractions import Fraction
 from typing import Any, Callable, Hashable, Mapping
 
-from ..core.lis_graph import LisGraph, relay_name, stage_name
+from ..core.lis_graph import LisGraph
+from ..core.naming import relay_name, stage_name
 from .protocol import TAU, ShellBehavior, Trace
 
 __all__ = [

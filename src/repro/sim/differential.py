@@ -71,6 +71,7 @@ def differential_check(
     probe: Hashable | None = None,
     compare_values: bool = True,
     check_schedule: bool = True,
+    check_netlist: bool = False,
 ) -> DifferentialReport:
     """Run all three backends on ``lis`` and compare cycle-exactly.
 
@@ -90,6 +91,11 @@ def differential_check(
             to equal the trace execution clock-for-clock (and, when
             ``clocks`` covers the transient plus one hyperperiod, its
             peak occupancies to equal the simulated ones exactly).
+        check_netlist: Also run the occupancy-count
+            :class:`~repro.dsl.netlist.NetlistSimulator` -- the model
+            of the exported SystemVerilog -- as a fourth simulator
+            voice, compared on firing patterns, throughput, and peak
+            occupancy (it carries no data values).
     """
     fast = FastSimulator(lis, _instantiate(behaviors), extra_tokens)
     trace_sim = TraceSimulator(lis, _instantiate(behaviors), extra_tokens)
@@ -99,10 +105,23 @@ def differential_check(
         "trace": trace_sim.run(clocks),
         "rtl": rtl_sim.run(clocks),
     }
+    backends = list(BACKENDS)
+    sims: dict[str, object] = {"fast": fast, "trace": trace_sim, "rtl": rtl_sim}
+    if check_netlist:
+        # Imported lazily: repro.dsl sits above repro.sim in the layer
+        # stack, and the netlist voice is only needed when exporting RTL.
+        from ..dsl.netlist import NetlistSimulator
+
+        netlist_sim = NetlistSimulator.from_lis(lis, None, extra_tokens)
+        traces["netlist"] = netlist_sim.run(clocks)
+        sims["netlist"] = netlist_sim
+        backends.append("netlist")
     failures: list[str] = []
 
     reference = traces["trace"]
-    for backend in ("fast", "rtl"):
+    for backend in backends:
+        if backend == "trace":
+            continue
         if traces[backend].fired != reference.fired:
             failures.append(f"firing pattern: {backend} != trace")
     if compare_values and behaviors is not None:
@@ -114,17 +133,18 @@ def differential_check(
         probe = lis.shells()[0]
     throughput = {
         backend: traces[backend].throughput(probe)
-        for backend in BACKENDS
+        for backend in backends
     }
     if len(set(throughput.values())) > 1:
         failures.append(f"throughput at {probe!r}: {throughput}")
 
     occupancy = {
-        "fast": fast.max_queue_occupancy(),
-        "trace": trace_sim.max_queue_occupancy(),
-        "rtl": rtl_sim.max_queue_occupancy(),
+        backend: sims[backend].max_queue_occupancy()  # type: ignore[attr-defined]
+        for backend in backends
     }
-    for backend in ("fast", "rtl"):
+    for backend in backends:
+        if backend == "trace":
+            continue
         if occupancy[backend] != occupancy["trace"]:
             failures.append(
                 f"max queue occupancy: {backend} != trace "

@@ -19,7 +19,23 @@ from .exhaustive import (
 )
 from .scenarios import ScenarioAnalysis, analyze_scenario, worst_placements
 
+# The declarative COFDM spelling pulls in repro.dsl; resolve lazily so
+# importing repro.soc stays free of the DSL module tree.
+_DECLARATIVE_EXPORTS = {"CofdmTransmitter", "cofdm_system", "fig19_system"}
+
+
+def __getattr__(name):
+    if name in _DECLARATIVE_EXPORTS:
+        from . import declarative
+
+        return getattr(declarative, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "CofdmTransmitter",
+    "cofdm_system",
+    "fig19_system",
     "BLOCKS",
     "CHANNELS",
     "FIG19_DEGRADED_MST",

@@ -61,7 +61,7 @@ from typing import TYPE_CHECKING, Hashable, Iterable, Mapping
 import numpy as np
 
 from ..core.lis_graph import LisGraph
-from ..faults.models import sink_shells, source_shells, structural_nodes
+from ..core.naming import sink_shells, source_shells, structural_nodes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.compile import CompiledSystem

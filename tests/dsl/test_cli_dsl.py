@@ -1,0 +1,115 @@
+"""CLI surface of the declarative frontend: ``repro generate --dsl``
+and ``repro export-rtl``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DSL_SOURCE = '''\
+from repro.dsl import Channel, Port, shell, system
+
+
+@shell
+class Core:
+    din = Port.input()
+    dout = Port.output()
+
+
+@system
+class Ping:
+    a = Core()
+    b = Core()
+    fwd = Channel(a, b, relays=1)
+    back = Channel(b, a)
+
+
+@system
+class Pong:
+    x = Core()
+    y = Core()
+    go = Channel(x, y)
+    no = Channel(y, x, queue=2)
+'''
+
+
+@pytest.fixture
+def dsl_file(tmp_path):
+    path = tmp_path / "systems.py"
+    path.write_text(DSL_SOURCE)
+    return path
+
+
+def test_generate_dsl_lowers_to_json(dsl_file, tmp_path, capsys):
+    out = tmp_path / "ping.json"
+    args = [
+        "generate", "--dsl", str(dsl_file), "--system", "Ping",
+        "-o", str(out),
+    ]
+    assert main(args) == 0
+    assert "fingerprint" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert len(doc["channels"]) == 2
+
+
+def test_generate_dsl_ambiguous_root_rejected(dsl_file, tmp_path, capsys):
+    args = ["generate", "--dsl", str(dsl_file), "-o", str(tmp_path / "x.json")]
+    assert main(args) != 0
+
+
+def test_generate_dsl_unknown_system_rejected(dsl_file, tmp_path):
+    args = [
+        "generate", "--dsl", str(dsl_file), "--system", "Nope",
+        "-o", str(tmp_path / "x.json"),
+    ]
+    assert main(args) != 0
+
+
+def test_generate_system_without_dsl_rejected(tmp_path):
+    args = ["generate", "--system", "Ping", "-o", str(tmp_path / "x.json")]
+    assert main(args) != 0
+
+
+def test_generated_json_round_trips_through_analyze(
+    dsl_file, tmp_path, capsys
+):
+    out = tmp_path / "ping.json"
+    assert main(
+        ["generate", "--dsl", str(dsl_file), "--system", "Ping",
+         "-o", str(out)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(out)]) == 0
+    assert "MST" in capsys.readouterr().out
+
+
+def test_export_rtl_corpus_name(tmp_path, capsys):
+    out = tmp_path / "rtl"
+    assert main(["export-rtl", "fig1", "-o", str(out), "--clocks", "40"]) == 0
+    capsys.readouterr()
+    assert (out / "Fig1.sv").exists()
+    assert (out / "Fig1_tb.sv").exists()
+
+
+def test_export_rtl_with_check(tmp_path, capsys):
+    out = tmp_path / "rtl"
+    args = ["export-rtl", "fig15", "-o", str(out), "--check", "--clocks", "80"]
+    assert main(args) == 0
+    text = capsys.readouterr().out
+    assert "PASS" in text
+    assert (out / "Fig15.sv").exists()
+
+
+def test_export_rtl_from_dsl_file(dsl_file, tmp_path, capsys):
+    out = tmp_path / "rtl"
+    args = ["export-rtl", f"{dsl_file}:Pong", "-o", str(out)]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert (out / "Pong.sv").exists()
+
+
+def test_export_rtl_unknown_system_rejected(tmp_path, capsys):
+    code = main(["export-rtl", "no-such-system", "-o", str(tmp_path / "rtl")])
+    assert code != 0
+    assert "cannot load system" in capsys.readouterr().err

@@ -1,0 +1,184 @@
+"""The decorator frontend: @shell / @system class bodies, typed ports,
+direction checking, hierarchical flattening, and error surfaces."""
+
+import pytest
+
+from repro.core import LisGraph, actual_mst
+from repro.dsl import (
+    SEP,
+    Channel,
+    DslError,
+    Port,
+    SystemBuilder,
+    decl_from_lis,
+    shell,
+    system,
+    to_system_decl,
+)
+
+
+@shell
+class Core:
+    din = Port.input()
+    dout = Port.output()
+
+
+@shell(latency=3)
+class Deep:
+    din = Port.input()
+    dout = Port.output()
+
+
+@system
+class Ping:
+    a = Core()
+    b = Core()
+    fwd = Channel(a, b, relays=1)
+    back = Channel(b, a)
+
+
+class TestShellDecorator:
+    def test_plain_and_parametrized_forms(self):
+        assert Core.latency == 1
+        assert Deep.latency == 3
+
+    def test_ports_are_recorded(self):
+        assert Core.port("din").direction == "in"
+        assert Core.port("dout").direction == "out"
+        with pytest.raises(DslError, match="no port"):
+            Core.port("nope")
+
+    def test_instance_latency_override(self):
+        inst = Core(latency=2)
+        assert inst.latency == 2
+        with pytest.raises(DslError, match="latency"):
+            Core(latency=0)
+
+    def test_unnamed_instance_has_no_name(self):
+        with pytest.raises(DslError, match="name"):
+            Core().name  # noqa: B018 -- the property raises
+
+
+class TestSystemDecorator:
+    def test_lowering_matches_hand_built(self):
+        hand = LisGraph()
+        hand.add_channel("a", "b", relays=1)
+        hand.add_channel("b", "a")
+        assert Ping.fingerprint() == hand.freeze().fingerprint()
+
+    def test_lower_returns_frozen_graph(self):
+        lis = Ping.lower()
+        assert sorted(lis.shells()) == ["a", "b"]
+        assert actual_mst(lis).mst is not None
+
+    def test_channel_id_lookup(self):
+        assert Ping.channel_id("a", "b") == 0
+        assert Ping.channel_id("b", "a") == 1
+
+    def test_member_access(self):
+        assert Ping.member("a").type is Core
+        with pytest.raises(DslError, match="no member"):
+            Ping.member("zz")
+
+    def test_duck_typed_decl_marker(self):
+        decl = to_system_decl(Ping)
+        assert decl.fingerprint() == Ping.fingerprint()
+
+
+class TestDirectionChecks:
+    def test_channel_from_input_port_rejected(self):
+        with pytest.raises(DslError, match="'in' port"):
+
+            @system
+            class Bad:
+                a = Core()
+                b = Core()
+                ch = Channel(a.din, b)
+
+    def test_channel_into_output_port_rejected(self):
+        with pytest.raises(DslError, match="'out' port"):
+
+            @system
+            class Bad:
+                a = Core()
+                b = Core()
+                ch = Channel(a, b.dout)
+
+    def test_explicit_ports_accepted(self):
+        @system
+        class Good:
+            a = Core()
+            b = Core()
+            ch = Channel(a.dout, b.din)
+
+        assert Good.channel_id("a", "b") == 0
+
+
+class TestHierarchy:
+    def test_flattening_dot_joins_names(self):
+        @system
+        class Pair:
+            left = Core()
+            right = Core()
+            ch = Channel(left, right)
+
+        @system
+        class Nested:
+            p = Pair()
+            q = Pair()
+            link = Channel(p.right, q.left, queue=2)
+
+        lis = Nested.lower()
+        assert sorted(lis.shells()) == [
+            f"p{SEP}left",
+            f"p{SEP}right",
+            f"q{SEP}left",
+            f"q{SEP}right",
+        ]
+        cid = Nested.channel_id(f"p{SEP}right", f"q{SEP}left")
+        assert lis.queue(cid) == 2
+
+    def test_inline_merges_namespaces(self):
+        @system
+        class Pair:
+            left = Core()
+            right = Core()
+            ch = Channel(left, right)
+
+        @system
+        class Flat:
+            p = Pair(inline=True)
+            tail = Core()
+            out = Channel(p.right, tail)
+
+        assert sorted(Flat.lower().shells()) == ["left", "right", "tail"]
+
+    def test_latency_survives_flattening(self):
+        @system
+        class Sub:
+            w = Deep()
+            c = Core()
+            ch = Channel(w, c)
+
+        @system
+        class Top:
+            s = Sub()
+            loop = Channel(s.c, s.w)
+
+        lis = Top.lower()
+        assert lis.latency(f"s{SEP}w") == 3
+
+
+class TestBuilderAndRoundTrip:
+    def test_builder_equivalent_to_decorators(self):
+        b = SystemBuilder("Ping")
+        b.shell("a")
+        b.shell("b")
+        b.channel("a", "b", relays=1)
+        b.channel("b", "a")
+        assert b.build().fingerprint() == Ping.fingerprint()
+
+    def test_decl_from_lis_round_trips(self):
+        lis = Ping.lower()
+        again = decl_from_lis(lis, name="Ping")
+        assert again.fingerprint() == lis.fingerprint()

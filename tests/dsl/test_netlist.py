@@ -1,0 +1,99 @@
+"""The backend-neutral netlist and its occupancy-count simulator.
+
+``build_netlist`` is the single structural elaboration shared by the
+SystemVerilog emitter and by :class:`NetlistSimulator`; pinning the
+simulator cycle-exactly against the reference backends therefore pins
+the *RTL structure itself* (same queues, same depths, same reset
+tokens, same firing rule)."""
+
+import pytest
+
+from repro.core import LisGraph
+from repro.dsl import (
+    NetlistSimulator,
+    build_netlist,
+    corpus_system,
+    simulate_netlist,
+)
+from repro.lis import RtlSimulator
+from repro.sim import differential_check
+
+
+def _fig15():
+    return corpus_system("fig15").lower()
+
+
+class TestBuildNetlist:
+    def test_nodes_match_rtl_simulator(self):
+        lis = _fig15()
+        net = build_netlist(lis, {})
+        assert {n.name for n in net.nodes} == set(RtlSimulator(lis).nodes)
+
+    def test_final_hop_capacity_encodes_queue_and_extra(self):
+        lis = LisGraph()
+        lis.add_channel("A", "B", queue=2)
+        net = build_netlist(lis.freeze(), {0: 1})
+        (queue,) = net.queues
+        assert queue.final and queue.channel == 0
+        # capacity = queue + extra + 1 reset placeholder
+        assert queue.capacity == 4
+        assert queue.reset_tokens == 1
+
+    def test_relay_hops_are_two_deep(self):
+        lis = LisGraph()
+        lis.add_channel("A", "B", relays=2)
+        net = build_netlist(lis.freeze(), {})
+        hops = net.channel_hops(0)
+        assert len(hops) == 3
+        assert [q.capacity for q in hops[:-1]] == [2, 2]
+        assert [q.reset_tokens for q in hops[:-1]] == [0, 0]
+        assert hops[-1].final
+
+    def test_latency_expands_to_stage_queues(self):
+        lis = LisGraph()
+        lis.add_shell("B", latency=3)
+        lis.add_channel("A", "B")
+        net = build_netlist(lis.freeze(), {})
+        stages = [n for n in net.nodes if n.kind == "stage"]
+        assert len(stages) == 2
+
+
+class TestNetlistSimulator:
+    @pytest.mark.parametrize(
+        "name", ["fig1", "fig15", "uplink_downlink", "elastic_pipeline"]
+    )
+    def test_cycle_exact_against_reference_simulators(self, name):
+        lis = corpus_system(name).lower()
+        report = differential_check(lis, clocks=100, check_netlist=True)
+        assert report.agreed, report.failures
+        assert "netlist" in report.throughput
+
+    def test_firing_counts_match_rtl_simulator(self):
+        lis = _fig15()
+        clocks = 80
+        rtl = RtlSimulator(lis)
+        rtl.run(clocks)
+        net = NetlistSimulator.from_lis(lis)
+        net.run(clocks)
+        assert net.firing_counts() == {
+            n: sum(rtl.trace.fired[n]) for n in rtl.nodes
+        }
+
+    def test_occupancy_matches_rtl_simulator(self):
+        lis = corpus_system("elastic_pipeline").lower()
+        rtl = RtlSimulator(lis)
+        rtl.run(100)
+        net = NetlistSimulator.from_lis(lis)
+        net.run(100)
+        assert net.max_queue_occupancy() == rtl.max_queue_occupancy()
+
+    def test_extra_tokens_change_behavior(self):
+        lis = _fig15()
+        base = simulate_netlist(lis, clocks=100)
+        fixed = simulate_netlist(lis, clocks=100, extra_tokens={5: 1, 6: 1})
+        assert fixed.throughput("A") >= base.throughput("A")
+
+    def test_behaviors_are_rejected(self):
+        lis = _fig15()
+        with pytest.raises(ValueError):
+            NetlistSimulator.from_lis(lis, {"A": object()})

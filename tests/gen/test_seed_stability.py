@@ -33,6 +33,21 @@ TORUS_GOLDEN = {
     (2, 5): "5d4f440335480d479777c364bf5a8fbb5dc11df547a3060dba65a80f4c31908e",
 }
 
+# Declarative twins: every named system in repro.gen.declarative must
+# keep lowering -- from BOTH spellings, hand-built factory and
+# repro.dsl declaration -- to exactly this fingerprint.
+DSL_GOLDEN = {
+    "fig1": "846881a41bd0aa5a88c327c8238ecea1516ac350e05afb1115873e885e000572",
+    "fig2_right": "766b9561e797ffacce0e3a415f4ae2a0abb74e37c00a5aa198092ab6b5620a34",
+    "fig15": "de97bf675059f222cd09c0af423bdce42e703ee26918ed39b89c0b2e4f462fd6",
+    "uplink_downlink": "48c216285ddbc5662f777779d9108ea25a95a0bb99c7a6966932c3f87a6db625",
+    "cofdm": "d8f48656286dcc59dffccf02c532c7e0c30d564b1d2606c12544676ae00eebc4",
+    "cofdm_fig19": "669c4bff5c9888f641010ed2bcb5abbe359663efc3b926cd70e9d1d03bcf69c0",
+    "mesh3x3": "aeb0576395a7dc23012635a700780326dd264dddb8acd1993891749862248d74",
+    "torus4x4": "0d42f7e156d5fdcd0a3a1de2909a73735d5c5bdd9ba9653c182c498d8492d7d8",
+    "ring8": "c492a88d8e988bfcf0b6d4907c74520e13c9ab5c3d74d2f0c38859ff86b64758",
+}
+
 VARIANT_GOLDEN = {
     "mesh-3x3-relays2-seed5": (
         "84d9db38a3f92708151901639c7230f27e68d30664b039243e45bae2d54c5398"
@@ -75,6 +90,22 @@ def test_2x2_torus_collapses_onto_the_mesh():
     """On a 2x2 grid the wraparound links duplicate the mesh links, so
     the torus *is* the mesh -- pinned so a dedup change is noticed."""
     assert _fingerprint(torus_lis(2, 2)) == MESH_GOLDEN[(2, 2)]
+
+
+@pytest.mark.parametrize("name", sorted(DSL_GOLDEN))
+def test_declarative_twin_fingerprints_are_stable(name):
+    from repro.gen.declarative import DECLARATIVE_TWINS, twin_fingerprints
+
+    assert set(DSL_GOLDEN) == set(DECLARATIVE_TWINS)
+    hand, decl = twin_fingerprints(name)
+    assert hand == DSL_GOLDEN[name]
+    assert decl == DSL_GOLDEN[name]
+
+
+def test_dsl_golden_agrees_with_generator_golden():
+    """The mesh/torus rows appear in both tables -- keep them equal."""
+    assert DSL_GOLDEN["mesh3x3"] == MESH_GOLDEN[(3, 3)]
+    assert DSL_GOLDEN["torus4x4"] == TORUS_GOLDEN[(4, 4)]
 
 
 def test_mesh_variants_fingerprints_are_stable():

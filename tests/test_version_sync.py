@@ -1,0 +1,19 @@
+"""The package version is declared twice -- ``pyproject.toml`` and
+``repro.__version__`` -- and they have drifted before.  Pin them to
+each other so a bump to one without the other fails CI."""
+
+import tomllib
+from pathlib import Path
+
+import repro
+
+
+def test_pyproject_and_package_versions_match():
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    with pyproject.open("rb") as handle:
+        declared = tomllib.load(handle)["project"]["version"]
+    assert declared == repro.__version__
+
+
+def test_version_is_exported():
+    assert "__version__" in repro.__all__
