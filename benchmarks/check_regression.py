@@ -10,6 +10,9 @@ Two checks, both driven by the published result JSONs under
 * ``--min-speedup`` (optional): fail when ``baseline_metric /
   current_metric`` falls below the given factor -- used to assert the
   kernel's recorded before/after speedup stays real.
+* ``--floor`` (optional): fail when ``current < baseline * floor`` --
+  the bigger-is-better guard for rates (cache hit rate, coalesce
+  rate, throughput) where the other two modes point the wrong way.
 
 Exit status 0 when every metric passes, 1 otherwise.
 
@@ -73,6 +76,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when baseline / current < this factor "
         "(checks a recorded speedup instead of a regression)",
     )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=None,
+        help="fail when current < baseline * floor "
+        "(bigger-is-better metrics: hit rates, throughput)",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -81,7 +91,15 @@ def main(argv: list[str] | None = None) -> int:
     for metric in args.metric:
         base = lookup(baseline, metric)
         cur = lookup(current, metric)
-        if args.min_speedup is not None:
+        if args.floor is not None:
+            limit = base * args.floor
+            verdict = cur >= limit
+            print(
+                f"{metric}: current {cur:.6f} vs baseline {base:.6f} "
+                f"(floor {limit:.6f} = {args.floor:.2f}x) "
+                f"{'ok' if verdict else 'FAIL'}"
+            )
+        elif args.min_speedup is not None:
             speedup = base / cur if cur else float("inf")
             verdict = speedup >= args.min_speedup
             print(

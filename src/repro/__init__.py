@@ -57,6 +57,10 @@ Subpackages:
   vectorized Monte-Carlo tail estimator, analytic tail quantiles
   (exact under global modulated service), and tail-vs-queue-sizing
   curves (``repro tail``).
+* :mod:`repro.server` -- analysis-as-a-service: an asyncio
+  HTTP/JSON-RPC front end with fingerprint request coalescing,
+  sharded engine workers, admission control, and a Little's-Law /
+  M/M/1 queueing self-model (``repro serve``).
 """
 
 from .core import (
@@ -111,7 +115,7 @@ from .lis import (
     register_backend,
     simulate_trace,
 )
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 # The vectorized backend, the schedule oracle and the stochastic layer
 # need numpy, which is an optional dependency; resolve their names
@@ -129,6 +133,12 @@ _DSL_EXPORTS = {
     "system",
 }
 _SCHEDULE_EXPORTS = {"ScheduleOracle", "derive_schedule"}
+_SERVER_EXPORTS = {
+    "AnalysisServer",
+    "ServerClient",
+    "ServerConfig",
+    "QueueModel",
+}
 _STOCHASTIC_EXPORTS = {
     "MonteCarloResult",
     "StochasticSpec",
@@ -161,12 +171,17 @@ def __getattr__(name):
         from . import stochastic
 
         return getattr(stochastic, name)
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "AnalysisEngine",
     "AnalysisReport",
+    "AnalysisServer",
     "Backend",
     "BatchSimulator",
     "Channel",
@@ -182,8 +197,11 @@ __all__ = [
     "MonteCarloResult",
     "Port",
     "QsSolution",
+    "QueueModel",
     "RtlSimulator",
     "ScheduleOracle",
+    "ServerClient",
+    "ServerConfig",
     "ShellBehavior",
     "Solver",
     "StochasticSpec",

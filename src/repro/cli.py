@@ -26,7 +26,12 @@ Gives the library's analysis pipeline a shell-scriptable surface:
 * ``tail``     -- stochastic tail-latency curves
   (:mod:`repro.stochastic`): p50/p99/p999 completion time vs queue
   sizing under a seeded stall/arrival process, Monte-Carlo
-  cross-checked against the analytic estimate.
+  cross-checked against the analytic estimate;
+* ``serve``    -- analysis-as-a-service (:mod:`repro.server`): an
+  asyncio HTTP/JSON-RPC front end over the engine with request
+  coalescing, sharded workers, admission control, and a queueing
+  self-model (``--report`` prints predicted-vs-observed latency on
+  shutdown).
 
 LIS descriptions use the JSON format of :mod:`repro.core.serialize`.
 """
@@ -227,6 +232,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tail.add_argument("--json", action="store_true",
                       help="machine-readable curve on stdout")
+
+    serve = sub.add_parser(
+        "serve",
+        help="analysis-as-a-service HTTP/JSON-RPC server",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="TCP port (0 picks an ephemeral port, printed at "
+        "startup; default 8787)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="engine worker shards; requests route by content "
+        "fingerprint (default 1)",
+    )
+    serve.add_argument(
+        "--engine-jobs",
+        type=int,
+        default=1,
+        help="process-pool width per shard engine (default 1: run "
+        "ops in the shard thread)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="bounded queue depth per shard; a full queue sheds with "
+        "503 + Retry-After (default 64)",
+    )
+    serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="shared disk-cache directory (multi-process safe)",
+    )
+    serve.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="disk-cache size cap in bytes (oldest entries evicted)",
+    )
+    serve.add_argument(
+        "--memo-size",
+        type=int,
+        default=4096,
+        help="in-memory memo entries per shard engine (0 disables "
+        "result caching; default 4096)",
+    )
+    serve.add_argument(
+        "--op-timeout",
+        type=float,
+        default=None,
+        help="per-op wall-clock budget handed to the engines "
+        "(timeout/retry/pool-rebuild machinery)",
+    )
+    serve.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="disable in-flight request coalescing (benchmarking "
+        "baseline; the result cache still applies)",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=60.0,
+        help="sliding window (s) for the self-model's arrival-rate "
+        "estimate (default 60)",
+    )
+    serve.add_argument(
+        "--prewarm",
+        action="store_true",
+        help="spin shard process pools up before accepting traffic",
+    )
+    serve.add_argument(
+        "--report",
+        action="store_true",
+        help="print the queueing self-model report (predicted vs "
+        "observed latency) on shutdown",
+    )
 
     from .core.solvers import available_solvers
 
@@ -989,6 +1078,65 @@ def _cmd_export_rtl(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .server import AnalysisServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        engine_jobs=args.engine_jobs,
+        queue_limit=args.queue_limit,
+        cache_dir=args.cache,
+        cache_bytes=args.cache_bytes,
+        memo_size=args.memo_size,
+        op_timeout=args.op_timeout,
+        coalesce=not args.no_coalesce,
+        window=args.window,
+        prewarm=args.prewarm,
+    )
+    server = AnalysisServer(config)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"repro server listening on "
+            f"http://{config.host}:{server.port} "
+            f"(shards={config.shards}, "
+            f"coalesce={'on' if config.coalesce else 'off'}, "
+            f"cache={config.cache_dir or 'memory-only'})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if args.report:
+            print()
+            print("queueing self-model (predicted vs observed):")
+            print(server.qmodel.render())
+            metrics = server.metrics
+            print(
+                f"requests: {metrics.received}   "
+                f"completed: {metrics.completed}   "
+                f"shed: {metrics.shed}   "
+                f"coalesced: {server.coalescer.followers} "
+                f"({server.coalescer.coalesce_rate:.1%})   "
+                f"cache hit rate: {metrics.cache_hit_rate:.1%}"
+            )
+    return 0
+
+
 def _cmd_example(args) -> int:
     lis = EXAMPLES[args.name]()
     from .core.serialize import lis_to_json
@@ -1053,6 +1201,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "chaos": _cmd_chaos,
     "tail": _cmd_tail,
+    "serve": _cmd_serve,
 }
 
 

@@ -27,6 +27,7 @@ untrusted one.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
@@ -35,7 +36,12 @@ import tempfile
 from collections import OrderedDict
 from fractions import Fraction
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
+
+try:  # advisory locking: POSIX only, degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = ["DiskCache", "LruCache", "canonical_options", "content_key"]
 
@@ -111,33 +117,77 @@ class DiskCache:
 
     STATS_FILE = "stats.json"
     QUARANTINE_DIR = "quarantine"
+    LOCK_FILE = ".lock"
     MAGIC = b"%REPRO-CACHE-1%\n"
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        max_bytes: int | None = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         #: Corrupt entries detected (and quarantined) by this instance.
         self.corrupt_entries = 0
+        #: Optional size cap: after a put pushes the directory past
+        #: this many bytes, the oldest entries are evicted (under the
+        #: advisory lock) until the cache fits again.  ``None`` (the
+        #: default) never evicts.
+        self.max_bytes = max_bytes
+        #: Entries this instance evicted to stay under ``max_bytes``.
+        self.evicted_entries = 0
+        # Approximate bytes written since the last full-size check, so
+        # a busy writer doesn't stat the whole directory on every put.
+        self._bytes_since_check = 0
 
     def _path(self, op: str, key: str) -> Path:
         return self.directory / f"{op}--{key}.pkl"
 
+    @contextlib.contextmanager
+    def _lock(self) -> Iterator[None]:
+        """Advisory, cross-process exclusive lock on the cache dir.
+
+        Serializes the read-modify-write of ``stats.json``, eviction
+        scans, and quarantine moves across *processes* sharing one
+        cache directory (many server shards, parallel pytest workers,
+        concurrent CLI runs).  Entry reads/writes themselves don't need
+        it: puts are atomic rename-into-place and content-addressed,
+        so the worst cross-process race is both writers storing the
+        same bytes.  On platforms without :mod:`fcntl` the lock
+        degrades to a no-op (single-process use stays correct).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = self.directory / self.LOCK_FILE
+        with lock_path.open("a") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry out of the lookup path so it is never
-        re-read (and re-failed) again, keeping the bytes for diagnosis."""
+        re-read (and re-failed) again, keeping the bytes for diagnosis.
+        Taken under the advisory lock so two processes detecting the
+        same corrupt file don't race the move (the loser would
+        otherwise unlink a healthy rewrite that landed in between)."""
         self.corrupt_entries += 1
         target_dir = self.directory / self.QUARANTINE_DIR
-        try:
-            target_dir.mkdir(exist_ok=True)
-            os.replace(path, target_dir / path.name)
-        except OSError:
-            # Cross-device or permission trouble: fall back to removal;
-            # leaving the corrupt file in place would mask every future
-            # lookup of this key as a disk hit that always fails.
+        with self._lock():
             try:
-                os.unlink(path)
+                target_dir.mkdir(exist_ok=True)
+                os.replace(path, target_dir / path.name)
             except OSError:
-                pass
+                # Already quarantined by a sibling process, cross-device
+                # or permission trouble: fall back to removal; leaving
+                # the corrupt file in place would mask every future
+                # lookup of this key as a disk hit that always fails.
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
 
     def get(self, op: str, key: str) -> Any:
         """Unpickled entry; KeyError when absent.  A present-but-corrupt
@@ -191,6 +241,45 @@ class DiskCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._bytes_since_check += len(payload) + len(self.MAGIC) + 65
+            if self._bytes_since_check >= max(self.max_bytes // 8, 1):
+                self._bytes_since_check = 0
+                self.evict()
+
+    def evict(self) -> int:
+        """Drop the oldest entries until the directory fits in
+        ``max_bytes``; returns the number of entries removed.
+
+        Runs under the advisory lock so concurrent writers sharing the
+        cache directory never double-evict or race a put's rename: a
+        file that vanishes mid-scan (evicted by a sibling, quarantined)
+        is simply skipped.  No-op when ``max_bytes`` is ``None``.
+        """
+        if self.max_bytes is None:
+            return 0
+        removed = 0
+        with self._lock():
+            entries = []
+            for path in self.directory.glob("*--*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+            total = sum(size for _, size, _ in entries)
+            entries.sort()
+            for _, size, path in entries:
+                if total <= self.max_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+        self.evicted_entries += removed
+        return removed
 
     def quarantined(self) -> int:
         """Number of corrupt entries parked under ``quarantine/``."""
@@ -222,7 +311,13 @@ class DiskCache:
 
     def merge_stats(self, update: dict) -> None:
         """Accumulate ``update`` (nested dicts of numbers) into
-        ``stats.json`` so observability survives across runs."""
+        ``stats.json`` so observability survives across runs.
+
+        The read-modify-write runs under the advisory lock: without
+        it, two processes flushing stats concurrently (server shards,
+        parallel benchmark runs) would each read the same baseline and
+        the slower writer would silently drop the faster one's counts.
+        """
 
         def merge(into: dict, frm: dict) -> dict:
             for key, value in frm.items():
@@ -234,21 +329,23 @@ class DiskCache:
                     into[key] = value
             return into
 
-        merged = merge(self.read_stats(), update)
-        path = self.directory / self.STATS_FILE
-        text = json.dumps(merged, indent=2, sort_keys=True) + "\n"
-        # Atomic (write-temp-then-rename): a crash mid-write must not
-        # leave a truncated stats.json that read_stats then discards.
-        fd, tmp = tempfile.mkstemp(
-            dir=self.directory, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(text)
-            os.replace(tmp, path)
-        except BaseException:
+        with self._lock():
+            merged = merge(self.read_stats(), update)
+            path = self.directory / self.STATS_FILE
+            text = json.dumps(merged, indent=2, sort_keys=True) + "\n"
+            # Atomic (write-temp-then-rename): a crash mid-write must
+            # not leave a truncated stats.json that read_stats then
+            # discards.
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".tmp-", suffix=".json"
+            )
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise

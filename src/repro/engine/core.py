@@ -70,6 +70,19 @@ class OpStats:
             "failures": self.failures,
         }
 
+    def delta(self, before: "OpStats") -> "OpStats":
+        """Counters accumulated since ``before`` (a prior snapshot)."""
+        return OpStats(
+            calls=self.calls - before.calls,
+            hits=self.hits - before.hits,
+            disk_hits=self.disk_hits - before.disk_hits,
+            misses=self.misses - before.misses,
+            coalesced=self.coalesced - before.coalesced,
+            seconds=self.seconds - before.seconds,
+            solver_calls=self.solver_calls - before.solver_calls,
+            failures=self.failures - before.failures,
+        )
+
 
 @dataclass
 class EngineStats:
@@ -153,6 +166,59 @@ class EngineStats:
             "checkpoint_hits": self.checkpoint_hits,
         }
 
+    def snapshot(self) -> "EngineStats":
+        """An independent deep copy of the current counters.
+
+        Long-lived processes (the analysis server, notebook sessions)
+        need *per-interval* observability on top of the engine's
+        cumulative counters: take a snapshot before an operation and
+        call :meth:`delta` afterwards to get exactly what that
+        operation contributed, without resetting (and thereby
+        conflating) the cumulative view other readers rely on.
+        """
+        return copy.deepcopy(self)
+
+    def delta(self, before: "EngineStats") -> "EngineStats":
+        """The counters accumulated since the ``before`` snapshot.
+
+        Every numeric field, per-op table entry, and context/solver
+        counter is subtracted; ops (and counter keys) that saw no
+        traffic in the interval are dropped from the result, so a
+        delta renders as the interval's activity only.
+        """
+        out = EngineStats(
+            batches=self.batches - before.batches,
+            tasks=self.tasks - before.tasks,
+            wall_seconds=self.wall_seconds - before.wall_seconds,
+            serialize_seconds=(
+                self.serialize_seconds - before.serialize_seconds
+            ),
+            retries=self.retries - before.retries,
+            op_timeouts=self.op_timeouts - before.op_timeouts,
+            pool_rebuilds=self.pool_rebuilds - before.pool_rebuilds,
+            serial_fallbacks=(
+                self.serial_fallbacks - before.serial_fallbacks
+            ),
+            failures=self.failures - before.failures,
+            corrupt_entries=self.corrupt_entries - before.corrupt_entries,
+            checkpoint_hits=self.checkpoint_hits - before.checkpoint_hits,
+        )
+        for name, stats in self.ops.items():
+            prior = before.ops.get(name, OpStats())
+            diff = stats.delta(prior)
+            if any(v for v in diff.as_dict().values()):
+                out.ops[name] = diff
+        for field_name in ("context", "solver"):
+            current: dict = getattr(self, field_name)
+            prior_map: dict = getattr(before, field_name)
+            diff_map = {
+                key: value - prior_map.get(key, 0)
+                for key, value in current.items()
+                if value - prior_map.get(key, 0)
+            }
+            getattr(out, field_name).update(diff_map)
+        return out
+
     def render(self) -> str:
         """Human-readable stats block (the ``repro stats`` view)."""
         lines = [
@@ -202,6 +268,15 @@ class EngineStats:
 
 def _default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
+
+
+def _warm_worker() -> int:
+    """Pool-worker warmup body: pull the heavy module tree into the
+    worker process so the first real op doesn't pay the imports."""
+    from ..analysis import context_from_json  # noqa: F401
+    from ..core.throughput import actual_mst  # noqa: F401
+
+    return os.getpid()
 
 
 class _TaskFailure:
@@ -295,6 +370,29 @@ class AnalysisEngine:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
+
+    def prewarm(self) -> None:
+        """Spin the worker pool up (and import the analysis stack in
+        every worker) before the first real batch arrives.
+
+        A long-lived front end (the analysis server) reuses one engine
+        handle per shard across its whole lifetime; without prewarming,
+        the first request after startup -- or after a pool rebuild --
+        pays process fork + module import inside its latency budget.
+        No-op for in-process engines (``jobs <= 1``) and when the pool
+        already exists with live workers.
+        """
+        if self.jobs <= 1 or self._closed:
+            return
+        pool = self._ensure_pool()
+        futures = [pool.submit(_warm_worker) for _ in range(self.jobs)]
+        for future in futures:
+            try:
+                future.result()
+            except Exception:
+                # A worker dying during warmup is handled by the
+                # normal self-healing path on the first real batch.
+                pass
 
     def _rebuild_pool(self) -> None:
         """Tear the (presumed broken or wedged) pool down -- terminating

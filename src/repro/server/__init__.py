@@ -1,0 +1,56 @@
+"""repro.server -- analysis-as-a-service on top of the engine.
+
+A long-running asyncio HTTP/JSON-RPC front end for the
+:class:`~repro.engine.AnalysisEngine`: request validation into engine
+ops, **request coalescing by content fingerprint** (identical
+in-flight requests collapse onto one future; completed results are
+served from the engine's memo/disk cache under the very same SHA-256
+key), sharded engine workers with bounded queues and load shedding
+(``Retry-After``), per-request deadlines, streamed progress events,
+and a queueing **self-model** -- the server tracks its own arrival
+rate and service times and reports Little's Law / M/M/1 predicted
+latency beside what it actually measured (``GET /stats``,
+``repro serve --report``).
+
+Start one from the CLI::
+
+    python -m repro serve --port 8787 --shards 4 --cache .repro-cache
+
+or in-process::
+
+    from repro.server import AnalysisServer, ServerConfig
+
+    async with AnalysisServer(ServerConfig(port=0)) as server:
+        ...  # server.port is bound
+
+See :mod:`repro.server.app` for the HTTP surface,
+:mod:`repro.server.protocol` for the method table,
+:mod:`repro.server.coalesce` for single-flight semantics,
+:mod:`repro.server.pool` for sharding/admission, and
+:mod:`repro.server.qmodel` for the self-model.
+"""
+
+from .app import AnalysisServer, ServerConfig
+from .client import ServerClient, ServerError
+from .coalesce import Coalescer
+from .metrics import ServerMetrics
+from .pool import ExecutionOutcome, ShardPool
+from .protocol import METHODS, Job, RpcError, jsonify, parse_job
+from .qmodel import QueueModel
+
+__all__ = [
+    "AnalysisServer",
+    "ServerConfig",
+    "ServerClient",
+    "ServerError",
+    "Coalescer",
+    "ServerMetrics",
+    "ExecutionOutcome",
+    "ShardPool",
+    "METHODS",
+    "Job",
+    "RpcError",
+    "jsonify",
+    "parse_job",
+    "QueueModel",
+]

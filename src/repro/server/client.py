@@ -1,0 +1,220 @@
+"""A minimal asyncio client for the analysis server.
+
+Used by the test suite, the load-generator benchmark, and the CI smoke
+job; it speaks exactly the subset of HTTP/1.1 the server emits
+(Content-Length bodies and chunked NDJSON streams) over one keep-alive
+connection per instance.  Open one client per concurrent task::
+
+    async with ServerClient("127.0.0.1", port) as client:
+        result = await client.call("analyze", {"system": "fig15"})
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import AsyncIterator
+
+from .protocol import RpcError
+
+__all__ = ["ServerClient", "ServerError"]
+
+
+class ServerError(RpcError):
+    """A JSON-RPC error returned by the server, annotated with the
+    HTTP status (and Retry-After for 503 shedding)."""
+
+    def __init__(
+        self,
+        code: int,
+        message: str,
+        data: object = None,
+        retry_after: float | None = None,
+        http_status: int = 200,
+    ) -> None:
+        super().__init__(code, message, data, retry_after)
+        self.http_status = http_status
+
+
+class ServerClient:
+    """One keep-alive connection; calls are serial per client."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._next_id = 0
+
+    async def __aenter__(self) -> "ServerClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def connect(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = self._writer = None
+
+    # -- raw HTTP -----------------------------------------------------
+
+    async def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+        ]
+        if body is not None:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(body)}")
+        request = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+        self._writer.write(request + (body or b""))
+        await self._writer.drain()
+        status, headers = await self._read_head()
+        payload = await self._read_body(headers)
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return status, headers, payload
+
+    async def _read_head(self) -> tuple[int, dict[str, str]]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split()[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    async def _read_body(self, headers: dict[str, str]) -> bytes:
+        assert self._reader is not None
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            chunks = []
+            async for chunk in self._iter_chunks():
+                chunks.append(chunk)
+            return b"".join(chunks)
+        length = int(headers.get("content-length", 0) or 0)
+        return await self._reader.readexactly(length) if length else b""
+
+    async def _iter_chunks(self) -> AsyncIterator[bytes]:
+        assert self._reader is not None
+        while True:
+            size_line = await self._reader.readline()
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await self._reader.readline()  # trailing CRLF
+                return
+            data = await self._reader.readexactly(size)
+            await self._reader.readexactly(2)  # chunk CRLF
+            yield data
+
+    # -- the JSON-RPC surface -----------------------------------------
+
+    def _rpc_body(
+        self,
+        method: str,
+        params: dict,
+        deadline_ms: float | None,
+        stream: bool = False,
+    ) -> bytes:
+        self._next_id += 1
+        params = dict(params)
+        if deadline_ms is not None:
+            params["deadline_ms"] = deadline_ms
+        if stream:
+            params["stream"] = True
+        return json.dumps(
+            {
+                "jsonrpc": "2.0",
+                "id": self._next_id,
+                "method": method,
+                "params": params,
+            }
+        ).encode("utf-8")
+
+    @staticmethod
+    def _unwrap(envelope: dict, status: int, headers: dict) -> dict:
+        if "error" in envelope:
+            error = envelope["error"]
+            retry_after = headers.get("retry-after")
+            raise ServerError(
+                int(error.get("code", 0)),
+                str(error.get("message", "")),
+                data=error.get("data"),
+                retry_after=(
+                    float(retry_after) if retry_after else None
+                ),
+                http_status=status,
+            )
+        return envelope["result"]
+
+    async def call(
+        self,
+        method: str,
+        params: dict,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """One JSON-RPC call; the ``result`` object (``{"value": ...,
+        "meta": ...}``) on success, :class:`ServerError` otherwise."""
+        body = self._rpc_body(method, params, deadline_ms)
+        status, headers, payload = await self._request(
+            "POST", "/rpc", body
+        )
+        return self._unwrap(
+            json.loads(payload.decode("utf-8")), status, headers
+        )
+
+    async def call_stream(
+        self,
+        method: str,
+        params: dict,
+        deadline_ms: float | None = None,
+    ) -> tuple[list[dict], dict]:
+        """A streaming call: ``(progress_events, result)``."""
+        body = self._rpc_body(method, params, deadline_ms, stream=True)
+        status, headers, payload = await self._request(
+            "POST", "/rpc", body
+        )
+        events: list[dict] = []
+        final: dict | None = None
+        for line in payload.decode("utf-8").splitlines():
+            if not line.strip():
+                continue
+            obj = json.loads(line)
+            if "jsonrpc" in obj:
+                final = obj
+            else:
+                events.append(obj)
+        if final is None:
+            raise ConnectionError("stream ended without a result")
+        return events, self._unwrap(final, status, headers)
+
+    async def stats(self) -> dict:
+        _status, _headers, payload = await self._request("GET", "/stats")
+        return json.loads(payload.decode("utf-8"))
+
+    async def healthz(self) -> bool:
+        status, _headers, payload = await self._request(
+            "GET", "/healthz"
+        )
+        return status == 200 and json.loads(payload).get("ok") is True

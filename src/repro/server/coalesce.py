@@ -1,0 +1,144 @@
+"""In-flight request coalescing by content fingerprint.
+
+The perf core of the server: two requests whose jobs hash to the same
+:func:`~repro.engine.cache.content_key` are the *same computation*, so
+only the first (the **leader**) is admitted to an engine shard; every
+later arrival (a **follower**) subscribes to the leader's future and
+is served the shared result bit-for-bit.  Completed results then live
+in the engine's memo/disk cache under the very same key, so the
+steady-state path for repeated content is: coalesce while in flight,
+cache hit afterwards -- the engine never sees the duplicate.
+
+Cancellation safety: the shared future is resolved by a detached
+executor task, never by a subscriber, and subscribers wait through
+:func:`asyncio.shield` -- a follower (or the leader's own HTTP
+connection) going away neither cancels the computation nor disturbs
+the other subscribers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+__all__ = ["Coalescer", "InflightEntry"]
+
+
+class InflightEntry:
+    """One in-flight computation: the shared future plus the progress
+    subscribers attached to it."""
+
+    __slots__ = ("key", "future", "subscribers", "waiters")
+
+    def __init__(self, key: str, future: asyncio.Future) -> None:
+        self.key = key
+        self.future = future
+        #: Progress-event queues of streaming subscribers.
+        self.subscribers: list[asyncio.Queue] = []
+        #: Requests currently waiting on the future (leader included).
+        self.waiters = 0
+
+    def publish(self, event: dict) -> None:
+        """Fan a progress event out to every streaming subscriber."""
+        for queue in self.subscribers:
+            queue.put_nowait(event)
+
+
+class Coalescer:
+    """Keyed single-flight execution over asyncio.
+
+    ``await run(key, start)`` either starts ``start()`` as a detached
+    task (leader) or joins the identical in-flight computation
+    (follower).  The entry is removed the moment its future resolves,
+    so a later request with the same key starts fresh -- by then the
+    engine cache serves it, which is the cheap path anyway.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._inflight: dict[str, InflightEntry] = {}
+        #: Computations started (one per unique in-flight key).
+        self.leaders = 0
+        #: Requests that joined an existing in-flight computation.
+        self.followers = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of admitted requests served by someone else's
+        in-flight computation."""
+        total = self.leaders + self.followers
+        return self.followers / total if total else 0.0
+
+    def admit(
+        self,
+        key: str,
+        start: Callable[[InflightEntry], Awaitable[object]],
+    ) -> tuple[InflightEntry, bool]:
+        """Admit one request: returns ``(entry, is_leader)``.
+
+        For a leader, ``start(entry)`` is spawned as a detached task
+        whose result (or exception) resolves ``entry.future``; the
+        task is intentionally *not* tied to the requesting connection.
+        """
+        if self.enabled:
+            entry = self._inflight.get(key)
+            if entry is not None and not entry.future.done():
+                self.followers += 1
+                return entry, False
+        loop = asyncio.get_running_loop()
+        entry = InflightEntry(key, loop.create_future())
+        if self.enabled:
+            self._inflight[key] = entry
+        self.leaders += 1
+        task = loop.create_task(self._drive(entry, start))
+        # Keep a strong reference until the drive finishes (asyncio
+        # only holds weak references to running tasks).
+        entry.future.add_done_callback(lambda _f, _t=task: None)
+        return entry, True
+
+    async def _drive(
+        self,
+        entry: InflightEntry,
+        start: Callable[[InflightEntry], Awaitable[object]],
+    ) -> None:
+        try:
+            result = await start(entry)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to waiters
+            self._resolve(entry, error=exc)
+        else:
+            self._resolve(entry, result=result)
+
+    def _resolve(
+        self,
+        entry: InflightEntry,
+        result: object = None,
+        error: BaseException | None = None,
+    ) -> None:
+        self._inflight.pop(entry.key, None)
+        if entry.future.done():  # pragma: no cover - defensive
+            return
+        if error is not None:
+            entry.future.set_exception(error)
+            # Every subscriber observes the exception through wait();
+            # mark it retrieved so a fully-cancelled audience doesn't
+            # log "exception was never retrieved".
+            entry.future.exception()
+        else:
+            entry.future.set_result(result)
+
+    async def wait(
+        self, entry: InflightEntry, timeout: float | None = None
+    ) -> object:
+        """Await the shared result, shielded: cancelling this waiter
+        (client disconnect, deadline) never cancels the computation.
+        Raises :class:`asyncio.TimeoutError` past ``timeout``."""
+        entry.waiters += 1
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(entry.future), timeout
+            )
+        finally:
+            entry.waiters -= 1

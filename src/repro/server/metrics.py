@@ -1,0 +1,110 @@
+"""Server observability: request counters + engine-stat aggregation.
+
+Bridges the three observability layers into one ``/stats`` document:
+
+* request-level counters (received/completed/failed/shed/deadline),
+* the engine's own per-request :class:`~repro.engine.EngineStats`
+  *deltas* (snapshot/delta, so a long-lived server can attribute
+  hits/misses per request instead of only cumulatively), and
+* the :class:`~repro.server.qmodel.QueueModel` self-model.
+"""
+
+from __future__ import annotations
+
+from ..engine.core import EngineStats
+from .qmodel import QueueModel
+
+__all__ = ["ServerMetrics"]
+
+
+class ServerMetrics:
+    """Mutable counter block owned by the server event loop (asyncio
+    single-threaded, so plain attributes suffice)."""
+
+    def __init__(self, qmodel: QueueModel) -> None:
+        self.qmodel = qmodel
+        self.received = 0
+        self.completed = 0
+        self.failed = 0
+        self.invalid = 0
+        self.shed = 0
+        self.deadline_exceeded = 0
+        self.per_method: dict[str, int] = {}
+        #: Sum of every per-request engine-stats delta.
+        self.engine = EngineStats()
+        #: Requests whose engine delta was pure cache (no misses).
+        self.cache_served = 0
+        #: Executions actually run on a shard (coalescing leaders).
+        self.executed = 0
+
+    def record_request(self, method: str) -> None:
+        self.received += 1
+        self.per_method[method] = self.per_method.get(method, 0) + 1
+
+    def record_execution(self, delta: EngineStats) -> None:
+        """Fold one executed job's engine-stats delta in."""
+        self.executed += 1
+        if delta.misses == 0 and (delta.hits + delta.disk_hits) > 0:
+            self.cache_served += 1
+        agg = self.engine
+        agg.batches += delta.batches
+        agg.tasks += delta.tasks
+        agg.wall_seconds += delta.wall_seconds
+        agg.serialize_seconds += delta.serialize_seconds
+        agg.retries += delta.retries
+        agg.op_timeouts += delta.op_timeouts
+        agg.pool_rebuilds += delta.pool_rebuilds
+        agg.serial_fallbacks += delta.serial_fallbacks
+        agg.failures += delta.failures
+        agg.corrupt_entries += delta.corrupt_entries
+        agg.checkpoint_hits += delta.checkpoint_hits
+        for name, stats in delta.ops.items():
+            into = agg.op(name)
+            for field_name, value in stats.as_dict().items():
+                setattr(
+                    into, field_name, getattr(into, field_name) + value
+                )
+        agg.merge_context(delta.context)
+        agg.merge_solver(delta.solver)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of executed jobs answered entirely from the
+        engine's memo/disk cache."""
+        return self.cache_served / self.executed if self.executed else 0.0
+
+    def as_dict(
+        self, coalescer=None, queue_depth: int | None = None
+    ) -> dict:
+        out: dict = {
+            "requests": {
+                "received": self.received,
+                "completed": self.completed,
+                "failed": self.failed,
+                "invalid": self.invalid,
+                "shed": self.shed,
+                "deadline_exceeded": self.deadline_exceeded,
+                "per_method": dict(self.per_method),
+            },
+            "cache": {
+                "executed": self.executed,
+                "cache_served": self.cache_served,
+                "hit_rate": self.cache_hit_rate,
+                "engine_hits": self.engine.hits,
+                "engine_disk_hits": self.engine.disk_hits,
+                "engine_misses": self.engine.misses,
+            },
+            "engine": self.engine.as_dict(),
+            "queueing": self.qmodel.as_dict(),
+        }
+        if coalescer is not None:
+            out["coalescing"] = {
+                "enabled": coalescer.enabled,
+                "leaders": coalescer.leaders,
+                "followers": coalescer.followers,
+                "rate": coalescer.coalesce_rate,
+                "inflight": len(coalescer),
+            }
+        if queue_depth is not None:
+            out["queue_depth"] = queue_depth
+        return out

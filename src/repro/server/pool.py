@@ -1,0 +1,289 @@
+"""Sharded engine workers with admission control.
+
+Execution substrate of the server: ``shards`` long-lived
+:class:`~repro.engine.AnalysisEngine` handles, each owning a bounded
+queue, a single dedicated executor thread, and (optionally) a process
+pool for its ops.  Jobs are routed by content fingerprint, so repeated
+content always lands on the shard whose in-memory LRU already holds it
+-- the disk cache (shared, multi-process safe) backs all shards.
+
+Admission control is load-shedding, not buffering: when a shard's
+queue is full the request is rejected *immediately* with a
+``Retry-After`` hint computed from the server's own queue model
+(backlog x mean service time), because a bounded wait with an honest
+retry hint beats an unbounded queue every time.  A request with a
+deadline shorter than the predicted wait is likewise refused up front
+-- the self-model (Little's Law) acting as the admission controller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..engine.core import AnalysisEngine, EngineStats
+from .protocol import (
+    DEADLINE_EXCEEDED,
+    OP_FAILED,
+    OVERLOADED,
+    SHUTTING_DOWN,
+    Job,
+    RpcError,
+)
+from .qmodel import QueueModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .coalesce import InflightEntry
+
+__all__ = ["ExecutionOutcome", "ShardPool"]
+
+
+@dataclass
+class ExecutionOutcome:
+    """The shared result of one executed (possibly coalesced) job."""
+
+    value: object
+    delta: EngineStats
+    shard: int
+    queued_s: float
+    service_s: float
+    #: Lazily cached JSON-able rendering (set by the app on first
+    #: serialization so N coalesced subscribers serialize once).
+    rendered: object = None
+
+    @property
+    def cache_served(self) -> bool:
+        return self.delta.misses == 0 and (
+            self.delta.hits + self.delta.disk_hits > 0
+        )
+
+
+class ShardPool:
+    """``shards`` engine workers behind bounded queues.
+
+    Args:
+        shards: Engine workers (and executor threads).
+        engine_jobs: Process-pool width per shard engine (1 = run ops
+            in the shard thread; the engine's own timeout/retry
+            machinery still applies to pooled ops).
+        cache_dir: Shared disk-cache directory (multi-process safe).
+        cache_bytes: Optional disk-cache size cap (oldest evicted).
+        memo_size: In-memory memo entries per shard engine (0 turns
+            result caching off entirely -- benchmark baselines).
+        op_timeout: Per-op wall-clock budget handed to each engine.
+        queue_limit: Bounded queue depth per shard; a full queue sheds.
+        qmodel: The server's queue model (arrivals/departures are
+            recorded here so the self-model sees exactly the admitted
+            executions).
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        engine_jobs: int = 1,
+        cache_dir=None,
+        cache_bytes: int | None = None,
+        memo_size: int = 4096,
+        op_timeout: float | None = None,
+        queue_limit: int = 64,
+        qmodel: QueueModel | None = None,
+    ) -> None:
+        self.shards = max(1, int(shards))
+        self.engine_jobs = max(1, int(engine_jobs))
+        self.cache_dir = cache_dir
+        self.cache_bytes = cache_bytes
+        self.memo_size = max(0, int(memo_size))
+        self.op_timeout = op_timeout
+        self.queue_limit = max(1, int(queue_limit))
+        self.qmodel = qmodel or QueueModel(servers=self.shards)
+        self.engines: list[AnalysisEngine] = []
+        self._queues: list[asyncio.Queue] = []
+        self._executors: list[ThreadPoolExecutor] = []
+        self._workers: list[asyncio.Task] = []
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self, prewarm: bool = False) -> None:
+        """Build engines, queues, and worker tasks (event loop
+        required).  ``prewarm`` spins each engine's process pool up
+        before the first request."""
+        if self._started:
+            return
+        self._started = True
+        for idx in range(self.shards):
+            engine = AnalysisEngine(
+                jobs=self.engine_jobs,
+                cache_size=self.memo_size,
+                cache_dir=self.cache_dir,
+                op_timeout=self.op_timeout,
+            )
+            if self.cache_bytes is not None and engine._disk is not None:
+                engine._disk.max_bytes = self.cache_bytes
+            if prewarm:
+                engine.prewarm()
+            self.engines.append(engine)
+            self._queues.append(asyncio.Queue(maxsize=self.queue_limit))
+            self._executors.append(
+                ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=f"repro-shard-{idx}",
+                )
+            )
+            self._workers.append(
+                asyncio.get_running_loop().create_task(
+                    self._worker(idx), name=f"repro-shard-worker-{idx}"
+                )
+            )
+
+    async def close(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for executor in self._executors:
+            executor.shutdown(wait=True, cancel_futures=True)
+        for engine in self.engines:
+            engine.close()
+        self._workers.clear()
+
+    # -- routing & admission ------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        """Deterministic content-hash routing: equal content, equal
+        shard (and therefore one warm in-memory LRU entry)."""
+        return int(key[:8], 16) % self.shards
+
+    def depth(self) -> int:
+        return sum(queue.qsize() for queue in self._queues)
+
+    def predicted_wait(self, shard: int) -> float:
+        """Self-modeled queue wait for a new arrival on ``shard``:
+        backlog x mean service time (Little's Law's drain estimate)."""
+        backlog = self._queues[shard].qsize()
+        return backlog * max(self.qmodel.service_mean(), 0.0)
+
+    def retry_after(self, shard: int) -> float:
+        """An honest Retry-After hint: time for the full backlog to
+        drain, clamped to something a client can act on."""
+        service = self.qmodel.service_mean() or 0.05
+        return min(max(self._queues[shard].qsize() * service, 0.05), 30.0)
+
+    async def execute(
+        self, job: Job, entry: "InflightEntry"
+    ) -> ExecutionOutcome:
+        """Admit and run one leader job; the awaited outcome resolves
+        the coalescer's shared future via the caller."""
+        if not self._started:
+            raise RpcError(SHUTTING_DOWN, "server is not running")
+        shard = self.shard_of(job.key)
+        queue = self._queues[shard]
+        if queue.full():
+            raise RpcError(
+                OVERLOADED,
+                f"shard {shard} queue is full "
+                f"({self.queue_limit} jobs deep); retry later",
+                data={"shard": shard, "queue_depth": queue.qsize()},
+                retry_after=self.retry_after(shard),
+            )
+        predicted = self.predicted_wait(shard)
+        if job.deadline_s is not None and predicted > job.deadline_s:
+            raise RpcError(
+                DEADLINE_EXCEEDED,
+                f"deadline {job.deadline_s * 1e3:.0f}ms is shorter than "
+                f"the predicted queue wait {predicted * 1e3:.0f}ms; "
+                "shedding at admission",
+                data={
+                    "predicted_wait_ms": predicted * 1e3,
+                    "shard": shard,
+                },
+                retry_after=self.retry_after(shard),
+            )
+        done: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.qmodel.record_arrival()
+        entry.publish(
+            {
+                "event": "accepted",
+                "shard": shard,
+                "position": queue.qsize(),
+                "predicted_wait_ms": predicted * 1e3,
+            }
+        )
+        queue.put_nowait((job, entry, done, time.monotonic()))
+        return await done
+
+    # -- the shard worker ---------------------------------------------
+
+    async def _worker(self, idx: int) -> None:
+        loop = asyncio.get_running_loop()
+        engine = self.engines[idx]
+        executor = self._executors[idx]
+        queue = self._queues[idx]
+        while True:
+            job, entry, done, t_arrival = await queue.get()
+            t_start = time.monotonic()
+            queued_s = t_start - t_arrival
+            entry.publish(
+                {
+                    "event": "started",
+                    "shard": idx,
+                    "queued_ms": queued_s * 1e3,
+                }
+            )
+            before = engine.stats.snapshot()
+            try:
+                value = await loop.run_in_executor(
+                    executor, self._run_engine, engine, job
+                )
+                error: BaseException | None = None
+            except RpcError as exc:
+                value, error = None, exc
+            except Exception as exc:  # pragma: no cover - defensive
+                value, error = None, RpcError(OP_FAILED, str(exc))
+            service_s = time.monotonic() - t_start
+            delta = engine.stats.delta(before)
+            self.qmodel.record_departure(queued_s, service_s)
+            outcome = ExecutionOutcome(
+                value=value,
+                delta=delta,
+                shard=idx,
+                queued_s=queued_s,
+                service_s=service_s,
+            )
+            entry.publish(
+                {
+                    "event": "done",
+                    "shard": idx,
+                    "ok": error is None,
+                    "service_ms": service_s * 1e3,
+                    "cache_served": outcome.cache_served,
+                }
+            )
+            if not done.done():
+                if error is not None:
+                    done.set_exception(error)
+                else:
+                    done.set_result(outcome)
+            queue.task_done()
+
+    @staticmethod
+    def _run_engine(engine: AnalysisEngine, job: Job) -> object:
+        """Thread body: one engine batch of one task; op failures
+        (including engine-level timeouts after retries) surface as
+        :class:`RpcError`."""
+        result = engine.run(
+            [(job.op, job.lis_json, job.options)], return_exceptions=True
+        )[0]
+        if isinstance(result, BaseException):
+            raise RpcError(
+                OP_FAILED,
+                f"{job.op} failed: "
+                f"{type(result).__name__}: {result}",
+            )
+        return result

@@ -1,0 +1,261 @@
+"""The server's self-model: Little's Law and M/M/1 applied to itself.
+
+Hill's "Three Other Models of Computer System Performance" argues that
+bottleneck analysis, Little's Law, and M/M/1 belong in every systems
+engineer's working set; here the analysis server *is* the queueing
+system and carries its own model.  Online it tracks
+
+* the arrival rate ``lambda`` (admitted executions per second over a
+  sliding window),
+* the service-time distribution ``S`` (mean and coefficient of
+  variation, by Welford's algorithm),
+* observed waiting/residence latencies (bounded reservoir; exact
+  order-statistic percentiles over the retained samples), and
+* the time-integral of the in-system request count (for Little's Law).
+
+From ``lambda`` and ``S`` it predicts, per M/M/1 (and its
+measured-variance refinement M/G/1 via Pollaczek-Khinchine):
+
+* utilization ``rho = lambda * E[S] / servers``,
+* mean queue wait ``Wq = rho * E[S] / (1 - rho)``,
+* mean residence ``W = E[S] / (1 - rho)``, and
+* residence percentiles ``W_p = W * ln(1/(1-p))`` (M/M/1 residence is
+  exponential with rate ``mu - lambda``).
+
+``/stats`` reports the predictions beside the observations, so a load
+test reads as a direct predicted-vs-observed experiment -- the repo
+analyzed by its own theory.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["QueueModel"]
+
+_MS = 1e3
+
+
+def _percentile(sorted_samples: list[float], q: float) -> float:
+    """Type-1 (inverse-CDF) percentile of pre-sorted samples."""
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_samples)) - 1)
+    return sorted_samples[min(rank, len(sorted_samples) - 1)]
+
+
+class QueueModel:
+    """Online arrival/service/latency tracker with queueing-theoretic
+    predictions (see module docstring).
+
+    Args:
+        servers: Effective number of parallel servers (shards); the
+            M/M/1 formulas are applied per server at ``lambda /
+            servers``, exact for 1 and the standard independence
+            approximation above.
+        window: Sliding window in seconds for the arrival-rate
+            estimate.
+        sample_limit: Latency samples retained for percentiles.
+        clock: Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        servers: int = 1,
+        window: float = 60.0,
+        sample_limit: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.servers = max(1, int(servers))
+        self.window = float(window)
+        self._clock = clock
+        self._t0 = clock()
+        # Arrivals (admitted executions).
+        self._arrivals: deque[float] = deque()
+        self.arrivals_total = 0
+        # Service times: Welford mean/variance.
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.busy_seconds = 0.0
+        # Latency reservoirs (most recent ``sample_limit``).
+        self._waits: deque[float] = deque(maxlen=sample_limit)
+        self._residences: deque[float] = deque(maxlen=sample_limit)
+        # Time-integral of the in-system count (Little's Law's L).
+        self._inflight = 0
+        self._area = 0.0
+        self._last_change = self._t0
+
+    # -- recording ----------------------------------------------------
+
+    def _advance(self) -> float:
+        now = self._clock()
+        self._area += self._inflight * (now - self._last_change)
+        self._last_change = now
+        return now
+
+    def record_arrival(self) -> None:
+        """An execution was admitted (leader entering a shard queue)."""
+        now = self._advance()
+        self._inflight += 1
+        self.arrivals_total += 1
+        self._arrivals.append(now)
+        cutoff = now - self.window
+        while self._arrivals and self._arrivals[0] < cutoff:
+            self._arrivals.popleft()
+
+    def record_departure(self, wait_s: float, service_s: float) -> None:
+        """An admitted execution finished: ``wait_s`` in queue,
+        ``service_s`` on an engine shard."""
+        self._advance()
+        self._inflight = max(0, self._inflight - 1)
+        self._n += 1
+        delta = service_s - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (service_s - self._mean)
+        self.busy_seconds += service_s
+        self._waits.append(wait_s)
+        self._residences.append(wait_s + service_s)
+
+    # -- estimates ----------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        return max(self._clock() - self._t0, 1e-9)
+
+    def arrival_rate(self) -> float:
+        """``lambda``: admitted executions per second over the
+        sliding window (or the whole lifetime when younger)."""
+        now = self._clock()
+        cutoff = now - self.window
+        while self._arrivals and self._arrivals[0] < cutoff:
+            self._arrivals.popleft()
+        span = min(self.window, max(now - self._t0, 1e-9))
+        return len(self._arrivals) / span
+
+    def service_mean(self) -> float:
+        return self._mean
+
+    def service_cv2(self) -> float:
+        """Squared coefficient of variation of the service time
+        (1 for exponential, 0 for deterministic)."""
+        if self._n < 2 or self._mean <= 0:
+            return 0.0
+        variance = self._m2 / (self._n - 1)
+        return variance / (self._mean * self._mean)
+
+    def utilization(self) -> float:
+        """Measured utilization: busy time over capacity time."""
+        return self.busy_seconds / (self.elapsed * self.servers)
+
+    def predicted(self) -> dict:
+        """The M/M/1 (and P-K / M/G/1) forecast at the current
+        ``lambda`` and ``S``.  ``stable`` is False at ``rho >= 1``
+        (the formulas diverge; waits are reported as None)."""
+        lam = self.arrival_rate() / self.servers
+        s = self._mean
+        rho = lam * s
+        out: dict = {
+            "rho": rho,
+            "stable": rho < 1.0,
+            "mm1_wait_ms": None,
+            "mm1_residence_ms": None,
+            "mm1_p50_ms": None,
+            "mm1_p99_ms": None,
+            "mg1_wait_ms": None,
+            "mg1_residence_ms": None,
+        }
+        if s <= 0 or rho >= 1.0:
+            return out
+        residence = s / (1.0 - rho)
+        out["mm1_wait_ms"] = (residence - s) * _MS
+        out["mm1_residence_ms"] = residence * _MS
+        out["mm1_p50_ms"] = residence * math.log(2.0) * _MS
+        out["mm1_p99_ms"] = residence * math.log(100.0) * _MS
+        # Pollaczek-Khinchine with the *measured* service variance.
+        wq = rho * s * (1.0 + self.service_cv2()) / (2.0 * (1.0 - rho))
+        out["mg1_wait_ms"] = wq * _MS
+        out["mg1_residence_ms"] = (s + wq) * _MS
+        return out
+
+    def observed(self) -> dict:
+        """Measured latencies and occupancy over the reservoir."""
+        residences = sorted(self._residences)
+        waits = sorted(self._waits)
+        mean_res = (
+            sum(residences) / len(residences) if residences else 0.0
+        )
+        mean_wait = sum(waits) / len(waits) if waits else 0.0
+        self._advance()
+        mean_inflight = self._area / self.elapsed
+        return {
+            "completed": self._n,
+            "mean_wait_ms": mean_wait * _MS,
+            "mean_residence_ms": mean_res * _MS,
+            "p50_ms": _percentile(residences, 0.50) * _MS,
+            "p99_ms": _percentile(residences, 0.99) * _MS,
+            "mean_in_system": mean_inflight,
+        }
+
+    def little(self) -> dict:
+        """Little's Law cross-check: the time-averaged in-system count
+        ``L`` against ``lambda * W`` from independent measurements."""
+        observed = self.observed()
+        lam = self.arrival_rate()
+        lw = lam * observed["mean_residence_ms"] / _MS
+        return {
+            "observed_l": observed["mean_in_system"],
+            "lambda_times_w": lw,
+        }
+
+    def as_dict(self) -> dict:
+        return {
+            "servers": self.servers,
+            "arrival_rate_hz": self.arrival_rate(),
+            "arrivals_total": self.arrivals_total,
+            "service_mean_ms": self._mean * _MS,
+            "service_cv2": self.service_cv2(),
+            "utilization": self.utilization(),
+            "predicted": self.predicted(),
+            "observed": self.observed(),
+            "little": self.little(),
+        }
+
+    def render(self) -> str:
+        """Human-readable predicted-vs-observed block (the
+        ``repro serve --report`` view)."""
+        data = self.as_dict()
+        pred, obs = data["predicted"], data["observed"]
+
+        def ms(value: float | None) -> str:
+            return "-" if value is None else f"{value:8.2f}ms"
+
+        lines = [
+            f"arrivals: {data['arrivals_total']}   "
+            f"lambda: {data['arrival_rate_hz']:.2f}/s   "
+            f"S: {data['service_mean_ms']:.2f}ms "
+            f"(cv2 {data['service_cv2']:.2f})   "
+            f"rho: {pred['rho']:.3f}   "
+            f"util: {data['utilization']:.3f}",
+            f"{'':14}{'predicted M/M/1':>18}{'predicted M/G/1':>18}"
+            f"{'observed':>12}",
+            f"{'mean wait':<14}{ms(pred['mm1_wait_ms']):>18}"
+            f"{ms(pred['mg1_wait_ms']):>18}"
+            f"{ms(obs['mean_wait_ms']):>12}",
+            f"{'mean resid.':<14}{ms(pred['mm1_residence_ms']):>18}"
+            f"{ms(pred['mg1_residence_ms']):>18}"
+            f"{ms(obs['mean_residence_ms']):>12}",
+            f"{'p50 resid.':<14}{ms(pred['mm1_p50_ms']):>18}"
+            f"{'':>18}{ms(obs['p50_ms']):>12}",
+            f"{'p99 resid.':<14}{ms(pred['mm1_p99_ms']):>18}"
+            f"{'':>18}{ms(obs['p99_ms']):>12}",
+        ]
+        little = data["little"]
+        lines.append(
+            f"Little's Law: L = {little['observed_l']:.3f} vs "
+            f"lambda*W = {little['lambda_times_w']:.3f}"
+        )
+        return "\n".join(lines)

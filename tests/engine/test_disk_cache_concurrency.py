@@ -1,0 +1,172 @@
+"""Multi-process DiskCache stress: one directory, many workers.
+
+The server runs several shards (and possibly several server
+*processes*) over one shared cache directory, so the cache must
+tolerate concurrent writers: puts are atomic rename-into-place,
+eviction and the stats read-modify-write run under an advisory
+``flock``.  These tests hammer a single directory from real OS
+processes and check that nothing corrupts and nothing is lost.
+"""
+
+import multiprocessing
+import pickle
+import sys
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.engine.cache import DiskCache
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="POSIX advisory locks required"
+)
+
+WORKERS = 4
+KEY_SPACE = [f"{i:064x}" for i in range(8)]
+
+
+def _expected(key: str) -> dict:
+    # Content-addressed invariant: the value is a pure function of the
+    # key, so concurrent writers of one key store identical bytes.
+    return {"key": key, "payload": key * 10}
+
+
+def _hammer(directory: str, worker_id: int, rounds: int) -> dict:
+    """Interleave puts and gets over a shared key space."""
+    cache = DiskCache(directory)
+    stale, ok = 0, 0
+    for i in range(rounds):
+        key = KEY_SPACE[(worker_id + i) % len(KEY_SPACE)]
+        cache.put("stress", key, _expected(key))
+        probe = KEY_SPACE[(worker_id + i + 3) % len(KEY_SPACE)]
+        try:
+            value = cache.get("stress", probe)
+        except KeyError:
+            stale += 1  # not written yet: allowed, corruption is not
+        else:
+            assert value == _expected(probe)
+            ok += 1
+    return {
+        "ok": ok,
+        "stale": stale,
+        "corrupt": cache.corrupt_entries,
+    }
+
+
+def _merge_stats(directory: str, merges: int) -> int:
+    cache = DiskCache(directory)
+    for _ in range(merges):
+        cache.merge_stats(
+            {"hits": 1, "ops": {"analyze": {"calls": 1}}}
+        )
+    return merges
+
+
+def _evict_writer(directory: str, worker_id: int, entries: int) -> int:
+    cache = DiskCache(directory, max_bytes=4096)
+    for i in range(entries):
+        cache.put(
+            "evict", f"{worker_id:02d}{i:062x}", list(range(200))
+        )
+    cache.evict()
+    return cache.evicted_entries
+
+
+def _pool():
+    # fork keeps module-level test functions callable in the children.
+    ctx = multiprocessing.get_context("fork")
+    return ProcessPoolExecutor(max_workers=WORKERS, mp_context=ctx)
+
+
+@pytest.fixture()
+def cache_dir(tmp_path):
+    return str(tmp_path / "shared-cache")
+
+
+def test_concurrent_put_get_never_corrupts(cache_dir):
+    rounds = 50
+    with _pool() as pool:
+        results = list(
+            pool.map(
+                _hammer,
+                [cache_dir] * WORKERS,
+                range(WORKERS),
+                [rounds] * WORKERS,
+            )
+        )
+    assert sum(r["corrupt"] for r in results) == 0
+    assert sum(r["ok"] for r in results) > 0
+    # Every key is left readable, intact, and correctly framed.
+    cache = DiskCache(cache_dir)
+    for key in KEY_SPACE:
+        assert cache.get("stress", key) == _expected(key)
+    assert cache.quarantined() == 0
+    assert cache.entries() == {"stress": len(KEY_SPACE)}
+
+
+def test_merge_stats_loses_no_updates(cache_dir):
+    """The lost-update race: N processes x M merges must sum to
+    exactly N*M -- only the advisory lock makes this exact."""
+    if not hasattr(DiskCache, "_lock"):  # pragma: no cover
+        pytest.skip("no advisory lock support")
+    merges = 25
+    with _pool() as pool:
+        list(pool.map(_merge_stats, [cache_dir] * WORKERS, [merges] * WORKERS))
+    stats = DiskCache(cache_dir).read_stats()
+    assert stats["hits"] == WORKERS * merges
+    assert stats["ops"]["analyze"]["calls"] == WORKERS * merges
+
+
+def test_concurrent_eviction_respects_the_cap(cache_dir):
+    entries = 30
+    with _pool() as pool:
+        evicted = list(
+            pool.map(
+                _evict_writer,
+                [cache_dir] * WORKERS,
+                range(WORKERS),
+                [entries] * WORKERS,
+            )
+        )
+    cache = DiskCache(cache_dir, max_bytes=4096)
+    # A worker's evict can interleave with a sibling's late puts, so
+    # settle the directory once more; then the cap must hold.
+    cache.evict()
+    assert cache.total_bytes() <= 4096
+    assert sum(evicted) > 0
+    for path in cache.directory.glob("*--*.pkl"):
+        op, _, rest = path.name.partition("--")
+        key = rest[: -len(".pkl")]
+        assert cache.get(op, key) == list(range(200))
+    assert cache.quarantined() == 0
+
+
+def test_atomic_put_replaces_in_place(cache_dir):
+    cache = DiskCache(cache_dir)
+    cache.put("op", "k" * 64, {"v": 1})
+    cache.put("op", "k" * 64, {"v": 2})
+    assert cache.get("op", "k" * 64) == {"v": 2}
+    # No temp files left behind by the rename dance.
+    assert not list(cache.directory.glob(".tmp-*"))
+
+
+def test_corrupt_entry_quarantined_once_across_readers(cache_dir):
+    cache = DiskCache(cache_dir)
+    cache.put("op", "c" * 64, {"v": 1})
+    path = cache._path("op", "c" * 64)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-4] + b"XXXX")  # break the checksum
+    with pytest.raises(KeyError):
+        cache.get("op", "c" * 64)
+    assert cache.corrupt_entries == 1
+    assert cache.quarantined() == 1
+    # The lookup path is clean again: a rewrite round-trips.
+    cache.put("op", "c" * 64, {"v": 2})
+    assert cache.get("op", "c" * 64) == {"v": 2}
+
+
+def test_legacy_unframed_entries_still_read(cache_dir):
+    cache = DiskCache(cache_dir)
+    path = cache._path("op", "l" * 64)
+    path.write_bytes(pickle.dumps({"old": True}))
+    assert cache.get("op", "l" * 64) == {"old": True}

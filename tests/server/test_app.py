@@ -1,0 +1,348 @@
+"""End-to-end tests of the HTTP/JSON-RPC front end.
+
+Each test boots a real :class:`AnalysisServer` on an ephemeral port
+and talks to it through :class:`ServerClient` -- the same loop, the
+same bytes a remote caller would see.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import (
+    AnalysisServer,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+)
+from repro.server.coalesce import InflightEntry
+from repro.server.pool import ShardPool
+from repro.server.protocol import (
+    DEADLINE_EXCEEDED,
+    INVALID_PARAMS,
+    METHOD_NOT_FOUND,
+    OVERLOADED,
+    PARSE_ERROR,
+    RpcError,
+    parse_job,
+)
+from repro.server.qmodel import QueueModel
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def serve(**overrides):
+    config = ServerConfig(port=0, **overrides)
+    return AnalysisServer(config)
+
+
+class TestRpcSurface:
+    def test_analyze_round_trip(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    assert await c.healthz()
+                    result = await c.call(
+                        "analyze", {"system": "fig15"}
+                    )
+            value, meta = result["value"], result["meta"]
+            # Figure 15's classic degradation: practical MST 3/4.
+            assert value["practical"] == "3/4"
+            assert value["ideal"] == "5/6"
+            assert meta["method"] == "analyze"
+            assert len(meta["fingerprint"]) == 16
+            assert meta["coalesced"] is False
+
+        run(scenario())
+
+    def test_size_queues_round_trip(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    result = await c.call(
+                        "size_queues", {"system": "fig15"}
+                    )
+            value = result["value"]
+            assert value["cost"] == 2
+            assert set(value["extra_tokens"].values()) == {1}
+
+        run(scenario())
+
+    def test_method_not_found(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    with pytest.raises(ServerError) as excinfo:
+                        await c.call("frobnicate", {"system": "fig1"})
+            assert excinfo.value.code == METHOD_NOT_FOUND
+            # JSON-RPC-over-HTTP: app-level errors are 200 envelopes.
+            assert excinfo.value.http_status == 200
+
+        run(scenario())
+
+    def test_invalid_params_counted(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    with pytest.raises(ServerError) as excinfo:
+                        await c.call("analyze", {"system": "/etc/passwd"})
+                    stats = await c.stats()
+            assert excinfo.value.code == INVALID_PARAMS
+            assert stats["requests"]["invalid"] == 1
+
+        run(scenario())
+
+    def test_unparseable_body_is_400(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    status, _headers, payload = await c._request(
+                        "POST", "/rpc", b"this is not json"
+                    )
+            assert status == 400
+            envelope = json.loads(payload)
+            assert envelope["error"]["code"] == PARSE_ERROR
+
+        run(scenario())
+
+    def test_unknown_route_is_404(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    status, _headers, _payload = await c._request(
+                        "GET", "/nope"
+                    )
+            assert status == 404
+
+        run(scenario())
+
+
+class TestCoalescingEndToEnd:
+    def test_identical_concurrent_requests_compute_once(self):
+        """Ten identical concurrent calls: one engine miss, everyone
+        served.  Latecomers that miss the in-flight window are cache
+        hits on the same shard -- either way the op runs once."""
+
+        async def scenario():
+            async with serve() as server:
+                clients = [
+                    ServerClient("127.0.0.1", server.port)
+                    for _ in range(10)
+                ]
+                for c in clients:
+                    await c.connect()
+                try:
+                    params = {
+                        "system": "cofdm",
+                        "options": {"backend": "trace", "clocks": 4000},
+                    }
+                    results = await asyncio.gather(
+                        *(c.call("measure", params) for c in clients)
+                    )
+                    stats = await clients[0].stats()
+                finally:
+                    for c in clients:
+                        await c.aclose()
+
+            values = [json.dumps(r["value"]) for r in results]
+            assert len(set(values)) == 1  # bit-for-bit shared result
+            # Exactly one computation: every other path was a
+            # coalesced follower or an engine cache hit.
+            assert stats["cache"]["engine_misses"] == 1
+            coalescing = stats["coalescing"]
+            assert coalescing["enabled"]
+            assert coalescing["followers"] >= 1
+            followers = coalescing["followers"]
+            cached = stats["cache"]["cache_served"]
+            assert followers + cached + 1 == 10
+            assert stats["requests"]["completed"] == 10
+
+        run(scenario())
+
+    def test_repeat_request_is_cache_served(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    first = await c.call("analyze", {"system": "fig1"})
+                    second = await c.call("analyze", {"system": "fig1"})
+            assert first["meta"]["cache_served"] is False
+            assert second["meta"]["cache_served"] is True
+            assert first["value"] == second["value"]
+
+        run(scenario())
+
+    def test_coalescing_can_be_disabled(self):
+        async def scenario():
+            async with serve(coalesce=False) as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    await c.call("analyze", {"system": "fig1"})
+                    await c.call("analyze", {"system": "fig1"})
+                    stats = await c.stats()
+            assert stats["coalescing"]["enabled"] is False
+            assert stats["coalescing"]["followers"] == 0
+            assert stats["coalescing"]["leaders"] == 2
+
+        run(scenario())
+
+    def test_deadline_expiry_does_not_kill_the_computation(self):
+        """A subscriber timing out gets 504; the shared computation
+        survives and serves the retry (coalesced or cached)."""
+
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    params = {
+                        "system": "cofdm",
+                        "options": {"backend": "trace", "clocks": 4000},
+                    }
+                    with pytest.raises(ServerError) as excinfo:
+                        await c.call(
+                            "measure", params, deadline_ms=0.01
+                        )
+                    assert excinfo.value.code == DEADLINE_EXCEEDED
+                    assert excinfo.value.http_status == 504
+                    # Retry without a deadline: served by the still-
+                    # running leader or by the cache it filled.
+                    result = await c.call("measure", params)
+                    stats = await c.stats()
+            assert result["value"]["backend"] == "trace"
+            assert stats["requests"]["deadline_exceeded"] == 1
+            assert stats["cache"]["engine_misses"] == 1
+
+        run(scenario())
+
+
+class TestStreaming:
+    def test_progress_events_then_result(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    events, result = await c.call_stream(
+                        "analyze", {"system": "fig15"}
+                    )
+            names = [e["event"] for e in events]
+            assert names == ["accepted", "started", "done"]
+            assert events[-1]["ok"] is True
+            assert result["value"]["practical"] == "3/4"
+
+        run(scenario())
+
+
+class TestAdmissionControl:
+    """Deterministic shed/deadline decisions on a hand-built pool."""
+
+    @staticmethod
+    def _entry(job):
+        return InflightEntry(
+            job.key, asyncio.get_running_loop().create_future()
+        )
+
+    def test_full_queue_sheds_with_retry_after(self):
+        async def scenario():
+            pool = ShardPool(
+                shards=1, queue_limit=1, qmodel=QueueModel()
+            )
+            pool._started = True
+            backlog = asyncio.Queue(maxsize=1)
+            backlog.put_nowait(object())
+            pool._queues = [backlog]
+            job = parse_job("analyze", {"system": "fig1"})
+            with pytest.raises(RpcError) as excinfo:
+                await pool.execute(job, self._entry(job))
+            assert excinfo.value.code == OVERLOADED
+            assert excinfo.value.retry_after >= 0.05
+
+        run(scenario())
+
+    def test_hopeless_deadline_refused_at_admission(self):
+        async def scenario():
+            qmodel = QueueModel()
+            qmodel.record_departure(0.0, 1.0)  # mean service: 1s
+            pool = ShardPool(shards=1, queue_limit=8, qmodel=qmodel)
+            pool._started = True
+            backlog = asyncio.Queue(maxsize=8)
+            backlog.put_nowait(object())  # predicted wait: 1s
+            pool._queues = [backlog]
+            job = parse_job(
+                "analyze", {"system": "fig1", "deadline_ms": 10}
+            )
+            with pytest.raises(RpcError) as excinfo:
+                await pool.execute(job, self._entry(job))
+            assert excinfo.value.code == DEADLINE_EXCEEDED
+            assert "predicted" in excinfo.value.message
+
+        run(scenario())
+
+    def test_shard_routing_is_deterministic(self):
+        pool = ShardPool(shards=4)
+        job = parse_job("analyze", {"system": "fig15"})
+        shard = pool.shard_of(job.key)
+        assert shard == pool.shard_of(job.key)
+        assert 0 <= shard < 4
+
+
+class TestStats:
+    def test_stats_document_shape(self):
+        async def scenario():
+            async with serve(shards=2) as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    await c.call("analyze", {"system": "fig1"})
+                    stats = await c.stats()
+            for section in (
+                "requests",
+                "cache",
+                "engine",
+                "queueing",
+                "coalescing",
+                "queue_depth",
+                "server",
+            ):
+                assert section in stats
+            queueing = stats["queueing"]
+            assert queueing["servers"] == 2
+            assert "predicted" in queueing and "observed" in queueing
+            assert queueing["observed"]["completed"] == 1
+            assert stats["server"]["shards"] == 2
+            assert stats["requests"]["per_method"] == {"analyze": 1}
+
+        run(scenario())
+
+    def test_self_model_sees_the_traffic(self):
+        async def scenario():
+            async with serve() as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    for _ in range(3):
+                        await c.call("analyze", {"system": "fig15"})
+                    stats = await c.stats()
+            queueing = stats["queueing"]
+            assert queueing["arrivals_total"] == 3
+            assert queueing["service_mean_ms"] > 0
+            assert queueing["observed"]["mean_residence_ms"] > 0
+            little = queueing["little"]
+            assert little["observed_l"] >= 0
+
+        run(scenario())
+
+
+class TestDiskCacheIntegration:
+    def test_shared_cache_dir_across_server_lifetimes(self, tmp_path):
+        """A second server over the same cache directory serves the
+        first server's work from disk."""
+
+        async def scenario():
+            cache = str(tmp_path / "cache")
+            async with serve(cache_dir=cache) as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    await c.call("analyze", {"system": "fig15"})
+            async with serve(cache_dir=cache) as server:
+                async with ServerClient("127.0.0.1", server.port) as c:
+                    result = await c.call("analyze", {"system": "fig15"})
+                    stats = await c.stats()
+            assert result["meta"]["cache_served"] is True
+            assert stats["cache"]["engine_disk_hits"] >= 1
+            assert stats["cache"]["engine_misses"] == 0
+
+        run(scenario())

@@ -1,0 +1,188 @@
+"""Single-flight coalescing semantics (the perf core of the server).
+
+The ISSUE-level guarantees under test, deterministically (execution is
+gated on an event so "concurrent" is exact, not timing-dependent):
+
+* N identical concurrent jobs -> exactly one computation started, all
+  N waiters observe the shared result;
+* cancelling one subscriber cancels neither the computation nor any
+  other subscriber.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.server.coalesce import Coalescer
+
+
+class Gate:
+    """A controllable computation: counts starts, blocks on an event."""
+
+    def __init__(self, result="shared-result", error=None):
+        self.started = 0
+        self.release = asyncio.Event()
+        self.result = result
+        self.error = error
+
+    async def __call__(self, entry):
+        self.started += 1
+        await self.release.wait()
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+def test_n_identical_requests_one_execution():
+    async def scenario():
+        coalescer = Coalescer()
+        gate = Gate()
+        admissions = [coalescer.admit("key", gate) for _ in range(8)]
+        leaders = [entry for entry, is_leader in admissions if is_leader]
+        assert len(leaders) == 1
+        # Every admission shares the leader's entry (same future).
+        assert all(e is admissions[0][0] for e, _ in admissions)
+        waiters = [
+            asyncio.ensure_future(coalescer.wait(entry))
+            for entry, _ in admissions
+        ]
+        await asyncio.sleep(0)  # let the drive task reach the gate
+        gate.release.set()
+        results = await asyncio.gather(*waiters)
+        assert gate.started == 1
+        assert results == ["shared-result"] * 8
+        assert coalescer.leaders == 1
+        assert coalescer.followers == 7
+        assert coalescer.coalesce_rate == pytest.approx(7 / 8)
+        assert len(coalescer) == 0  # entry retired on resolution
+
+    asyncio.run(scenario())
+
+
+def test_cancelling_one_subscriber_keeps_the_computation():
+    async def scenario():
+        coalescer = Coalescer()
+        gate = Gate()
+        entry, _ = coalescer.admit("key", gate)
+        coalescer.admit("key", gate)
+        victim = asyncio.ensure_future(coalescer.wait(entry))
+        survivor = asyncio.ensure_future(coalescer.wait(entry))
+        await asyncio.sleep(0)
+        victim.cancel()
+        await asyncio.sleep(0)
+        assert victim.cancelled()
+        # The shared future is untouched by the cancellation...
+        assert not entry.future.cancelled()
+        gate.release.set()
+        # ...and the other subscriber still gets the result.
+        assert await survivor == "shared-result"
+        assert gate.started == 1
+
+    asyncio.run(scenario())
+
+
+def test_wait_timeout_does_not_cancel_the_computation():
+    async def scenario():
+        coalescer = Coalescer()
+        gate = Gate()
+        entry, _ = coalescer.admit("key", gate)
+        with pytest.raises(asyncio.TimeoutError):
+            await coalescer.wait(entry, timeout=0.01)
+        assert not entry.future.cancelled()
+        gate.release.set()
+        assert await coalescer.wait(entry) == "shared-result"
+
+    asyncio.run(scenario())
+
+
+def test_errors_fan_out_to_every_waiter():
+    async def scenario():
+        coalescer = Coalescer()
+        gate = Gate(error=ValueError("op failed"))
+        entry, _ = coalescer.admit("key", gate)
+        coalescer.admit("key", gate)
+        waiters = [
+            asyncio.ensure_future(coalescer.wait(entry))
+            for _ in range(2)
+        ]
+        await asyncio.sleep(0)
+        gate.release.set()
+        results = await asyncio.gather(*waiters, return_exceptions=True)
+        assert all(isinstance(r, ValueError) for r in results)
+        assert gate.started == 1
+        assert len(coalescer) == 0
+
+    asyncio.run(scenario())
+
+
+def test_distinct_keys_do_not_coalesce():
+    async def scenario():
+        coalescer = Coalescer()
+        gate = Gate()
+        entry_a, lead_a = coalescer.admit("a", gate)
+        entry_b, lead_b = coalescer.admit("b", gate)
+        assert lead_a and lead_b
+        assert entry_a is not entry_b
+        await asyncio.sleep(0)
+        gate.release.set()
+        await asyncio.gather(
+            coalescer.wait(entry_a), coalescer.wait(entry_b)
+        )
+        assert gate.started == 2
+        assert coalescer.followers == 0
+
+    asyncio.run(scenario())
+
+
+def test_disabled_coalescer_always_executes():
+    async def scenario():
+        coalescer = Coalescer(enabled=False)
+        gate = Gate()
+        admissions = [coalescer.admit("key", gate) for _ in range(3)]
+        assert all(is_leader for _, is_leader in admissions)
+        await asyncio.sleep(0)
+        gate.release.set()
+        for entry, _ in admissions:
+            assert await coalescer.wait(entry) == "shared-result"
+        assert gate.started == 3
+        assert coalescer.coalesce_rate == 0.0
+
+    asyncio.run(scenario())
+
+
+def test_resolved_entry_is_not_rejoined():
+    """A later identical request starts fresh (by then the engine
+    cache serves it, so this is the cheap path anyway)."""
+
+    async def scenario():
+        coalescer = Coalescer()
+        first = Gate()
+        entry, _ = coalescer.admit("key", first)
+        first.release.set()
+        await coalescer.wait(entry)
+        second = Gate()
+        entry2, is_leader = coalescer.admit("key", second)
+        assert is_leader and entry2 is not entry
+        second.release.set()
+        await coalescer.wait(entry2)
+        assert second.started == 1
+
+    asyncio.run(scenario())
+
+
+def test_progress_events_fan_out_to_subscribers():
+    async def scenario():
+        coalescer = Coalescer()
+
+        async def start(entry):
+            entry.publish({"event": "started"})
+            return "done"
+
+        entry, _ = coalescer.admit("key", start)
+        queue_a, queue_b = asyncio.Queue(), asyncio.Queue()
+        entry.subscribers += [queue_a, queue_b]
+        await coalescer.wait(entry)
+        assert queue_a.get_nowait() == {"event": "started"}
+        assert queue_b.get_nowait() == {"event": "started"}
+
+    asyncio.run(scenario())

@@ -1,0 +1,173 @@
+"""The queueing self-model, driven by a fake clock.
+
+Deterministic scenarios whose M/M/1 / M/G/1 / Little's-Law answers
+are known in closed form, so the online estimators can be checked
+against theory exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.server.qmodel import QueueModel, _percentile
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def loaded_model(
+    cycles=100, service=0.1, gap=0.1, wait=0.0, servers=1
+):
+    """A D/D/1-style trace: every ``service + gap`` seconds one job
+    arrives, waits ``wait``, is served for ``service``."""
+    clock = FakeClock()
+    model = QueueModel(servers=servers, clock=clock)
+    for _ in range(cycles):
+        model.record_arrival()
+        clock.advance(wait + service)
+        model.record_departure(wait, service)
+        clock.advance(gap)
+    return model, clock
+
+
+class TestEstimators:
+    def test_arrival_rate_and_service_mean(self):
+        model, _clock = loaded_model(cycles=100, service=0.1, gap=0.1)
+        # 100 arrivals over 20 simulated seconds.
+        assert model.arrival_rate() == pytest.approx(5.0)
+        assert model.service_mean() == pytest.approx(0.1)
+        assert model.arrivals_total == 100
+
+    def test_arrival_window_prunes_old_arrivals(self):
+        clock = FakeClock()
+        model = QueueModel(window=10.0, clock=clock)
+        for _ in range(5):
+            model.record_arrival()
+            clock.advance(1.0)
+        clock.advance(100.0)  # all five fall out of the window
+        assert model.arrival_rate() == 0.0
+        assert model.arrivals_total == 5
+
+    def test_welford_mean_and_cv2(self):
+        clock = FakeClock()
+        model = QueueModel(clock=clock)
+        for service in (0.1, 0.2, 0.3):
+            model.record_arrival()
+            clock.advance(service)
+            model.record_departure(0.0, service)
+        assert model.service_mean() == pytest.approx(0.2)
+        # Sample variance 0.01 over mean^2 0.04.
+        assert model.service_cv2() == pytest.approx(0.25)
+
+    def test_deterministic_service_has_zero_cv2(self):
+        model, _ = loaded_model()
+        assert model.service_cv2() == pytest.approx(0.0)
+
+    def test_utilization_is_busy_over_elapsed(self):
+        model, _ = loaded_model(cycles=100, service=0.1, gap=0.1)
+        assert model.utilization() == pytest.approx(0.5, rel=1e-6)
+
+
+class TestPredictions:
+    def test_mm1_formulas_at_half_load(self):
+        # lambda = 5/s, S = 0.1s -> rho = 0.5.
+        model, _ = loaded_model(cycles=100, service=0.1, gap=0.1)
+        pred = model.predicted()
+        assert pred["stable"]
+        assert pred["rho"] == pytest.approx(0.5)
+        # W = S / (1 - rho) = 0.2s; Wq = W - S = 0.1s.
+        assert pred["mm1_residence_ms"] == pytest.approx(200.0)
+        assert pred["mm1_wait_ms"] == pytest.approx(100.0)
+        # Residence is exponential: percentiles at W * ln(1/(1-p)).
+        assert pred["mm1_p50_ms"] == pytest.approx(200 * math.log(2))
+        assert pred["mm1_p99_ms"] == pytest.approx(200 * math.log(100))
+
+    def test_pollaczek_khinchine_uses_measured_variance(self):
+        # Deterministic service (cv2 = 0): the M/G/1 wait must be
+        # exactly half the M/M/1 wait (the M/D/1 classic).
+        model, _ = loaded_model(cycles=100, service=0.1, gap=0.1)
+        pred = model.predicted()
+        assert pred["mg1_wait_ms"] == pytest.approx(
+            pred["mm1_wait_ms"] / 2
+        )
+        assert pred["mg1_residence_ms"] == pytest.approx(
+            100.0 + pred["mg1_wait_ms"]
+        )
+
+    def test_overload_reports_unstable(self):
+        # Zero gap: lambda = 1/S -> rho = 1, formulas diverge.
+        model, _ = loaded_model(cycles=50, service=0.1, gap=0.0)
+        pred = model.predicted()
+        assert not pred["stable"]
+        assert pred["rho"] >= 1.0
+        assert pred["mm1_wait_ms"] is None
+        assert pred["mg1_wait_ms"] is None
+
+    def test_multiserver_divides_the_arrival_stream(self):
+        single, _ = loaded_model(cycles=100, servers=1)
+        double, _ = loaded_model(cycles=100, servers=2)
+        assert double.predicted()["rho"] == pytest.approx(
+            single.predicted()["rho"] / 2
+        )
+
+
+class TestObservations:
+    def test_observed_latencies(self):
+        model, _ = loaded_model(
+            cycles=100, service=0.1, gap=0.1, wait=0.05
+        )
+        obs = model.observed()
+        assert obs["completed"] == 100
+        assert obs["mean_wait_ms"] == pytest.approx(50.0)
+        assert obs["mean_residence_ms"] == pytest.approx(150.0)
+        assert obs["p50_ms"] == pytest.approx(150.0)
+        assert obs["p99_ms"] == pytest.approx(150.0)
+
+    def test_littles_law_closes_on_a_deterministic_trace(self):
+        # In-system 0.1s of every 0.2s cycle -> L = 0.5; lambda * W =
+        # 5/s * 0.1s = 0.5.  Little's Law must agree with itself.
+        model, _ = loaded_model(cycles=100, service=0.1, gap=0.1)
+        little = model.little()
+        assert little["observed_l"] == pytest.approx(0.5, rel=1e-6)
+        assert little["lambda_times_w"] == pytest.approx(0.5, rel=1e-6)
+
+    def test_percentile_is_exact_order_statistic(self):
+        samples = sorted(float(i) for i in range(1, 101))
+        assert _percentile(samples, 0.50) == 50.0
+        assert _percentile(samples, 0.99) == 99.0
+        assert _percentile(samples, 1.0) == 100.0
+        assert _percentile([], 0.5) == 0.0
+
+
+class TestReporting:
+    def test_as_dict_sections(self):
+        model, _ = loaded_model(cycles=10)
+        data = model.as_dict()
+        for section in (
+            "servers",
+            "arrival_rate_hz",
+            "service_mean_ms",
+            "service_cv2",
+            "utilization",
+            "predicted",
+            "observed",
+            "little",
+        ):
+            assert section in data
+
+    def test_render_mentions_littles_law(self):
+        model, _ = loaded_model(cycles=10)
+        text = model.render()
+        assert "Little's Law" in text
+        assert "predicted M/M/1" in text
+
+    def test_render_survives_an_empty_model(self):
+        assert QueueModel().render()
