@@ -1,0 +1,307 @@
+"""Resilience benchmark: p99 and recovery time with a shard killed
+mid-load.
+
+One phase against a real :class:`~repro.server.AnalysisServer` on an
+ephemeral port, run twice:
+
+* **Control run.**  A closed-loop fleet of retrying clients fires
+  unique ``simulate`` jobs (distinct horizons, so neither coalescing
+  nor the caches can help) at a 2-shard server that is left alone.
+
+* **Kill run.**  The same traffic shape, but one shard worker is
+  killed from the outside once ~30% of the requests have completed.
+  The supervisor must notice the dead worker, fail its orphaned job
+  honestly, and restart it; the orphan's client retries through the
+  disruption.  Measured: overall p99 (retries included), the recovery
+  time from the kill until ``/healthz`` reports every shard serving
+  again, and the error count -- which must be zero, because a
+  supervised pool plus a retrying client turns a worker crash into
+  latency, not failures.
+
+Both numbers land in ``benchmarks/results/server_resilience.json`` so
+``check_regression.py`` can guard them in CI (``--tolerance`` for
+p99 and recovery).
+
+Standalone smoke mode (the CI server-chaos-smoke job)::
+
+    python benchmarks/bench_server_resilience.py --smoke
+
+runs a reduced kill run and exits non-zero unless every request
+succeeds and the supervisor restarted the shard.
+"""
+
+import asyncio
+import math
+import os
+import random
+import time
+
+from repro.server import (
+    AnalysisServer,
+    RetryPolicy,
+    ServerClient,
+    ServerConfig,
+)
+
+# Tunables (environment-overridable so CI can shrink or relax).
+REQUESTS = int(os.environ.get("REPRO_RESIL_REQUESTS", "160"))
+CLIENTS = int(os.environ.get("REPRO_RESIL_CLIENTS", "12"))
+SHARDS = int(os.environ.get("REPRO_RESIL_SHARDS", "2"))
+KILL_FRACTION = float(os.environ.get("REPRO_RESIL_KILL_FRACTION", "0.3"))
+RECOVERY_CEILING_S = float(
+    os.environ.get("REPRO_RESIL_RECOVERY_CEILING", "5.0")
+)
+SEED = 20260808
+
+_CLOCKS = iter(())  # replaced by unique_clocks()
+
+
+def unique_clocks(rng, lo=200, hi=900):
+    """Unique simulation horizons: every job is distinct real work, so
+    the benchmark exercises the shard pipeline, not the caches."""
+    seen = set()
+    while True:
+        clocks = rng.randint(lo, hi)
+        if clocks not in seen:
+            seen.add(clocks)
+            yield clocks
+
+
+def corpus(rng, n):
+    clocks = unique_clocks(rng)
+    return [
+        (
+            "simulate",
+            {
+                "system": "fig15",
+                "options": {"clocks": next(clocks)},
+            },
+        )
+        for _ in range(n)
+    ]
+
+
+def percentile(sorted_samples, q):
+    if not sorted_samples:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_samples)) - 1)
+    return sorted_samples[min(rank, len(sorted_samples) - 1)]
+
+
+def server_config():
+    return ServerConfig(
+        port=0,
+        shards=SHARDS,
+        queue_limit=max(REQUESTS, 64),
+        # A fast supervisor tick keeps the measured recovery time a
+        # property of the supervision loop, not of a lazy default.
+        heartbeat_interval=0.02,
+    )
+
+
+async def drive(server, requests, clients, kill_after=None):
+    """Closed-loop fleet of retrying clients.  If ``kill_after`` is
+    set, kill shard worker 0 once that many requests have completed,
+    then time how long ``pool.health()`` takes to report every shard
+    serving again.  Returns (latencies_s, errors, recovery_s,
+    retries_used)."""
+    queue = list(requests)
+    latencies = []
+    errors = 0
+    completed = 0
+    lock = asyncio.Lock()
+    fleet = [
+        ServerClient(
+            "127.0.0.1",
+            server.port,
+            retry=RetryPolicy(
+                retries=5, base_s=0.02, cap_s=0.25, seed=SEED + i
+            ),
+        )
+        for i in range(clients)
+    ]
+
+    async def worker(client):
+        nonlocal errors, completed
+        while True:
+            async with lock:
+                if not queue:
+                    return
+                method, params = queue.pop()
+            t0 = time.perf_counter()
+            try:
+                await client.call(method, params)
+            except Exception:
+                errors += 1
+            else:
+                latencies.append(time.perf_counter() - t0)
+            completed += 1
+
+    async def assassin():
+        while completed < kill_after:
+            await asyncio.sleep(0.002)
+        restarts_before = server.pool.resilience.worker_restarts
+        server.pool.kill_worker(0)
+        t_kill = time.perf_counter()
+        # Recovered = the supervisor actually restarted the shard AND
+        # health reports every shard serving again.  (Health alone
+        # would return instantly: the cancellation has not even been
+        # delivered on the first poll after the kill.)
+        while True:
+            health = server.pool.health()
+            if (
+                server.pool.resilience.worker_restarts > restarts_before
+                and health["ok"]
+                and all(shard["ok"] for shard in health["shards"])
+            ):
+                return time.perf_counter() - t_kill
+            await asyncio.sleep(0.002)
+
+    tasks = [worker(client) for client in fleet]
+    if kill_after is not None:
+        tasks.append(assassin())
+    results = await asyncio.gather(*tasks)
+    recovery_s = results[-1] if kill_after is not None else None
+    retries = sum(client.retries_used for client in fleet)
+    for client in fleet:
+        await client.aclose()
+    return sorted(latencies), errors, recovery_s, retries
+
+
+async def run_phase(requests, clients, kill_after=None):
+    async with AnalysisServer(server_config()) as server:
+        t0 = time.perf_counter()
+        latencies, errors, recovery_s, retries = await drive(
+            server, requests, clients, kill_after=kill_after
+        )
+        wall = time.perf_counter() - t0
+        resilience = dict(server.pool.resilience.as_dict())
+    return {
+        "requests": len(requests),
+        "clients": clients,
+        "errors": errors,
+        "throughput_rps": len(latencies) / wall if wall else 0.0,
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p99_ms": percentile(latencies, 0.99) * 1e3,
+        "recovery_s": recovery_s,
+        "retries_used": retries,
+        "worker_restarts": resilience["worker_restarts"],
+        "worker_crashes": resilience["worker_crashes"],
+        "orphans_failed": resilience["orphans_failed"],
+    }
+
+
+def run_benchmark():
+    """Control run then kill run; one shared RNG keeps every horizon
+    unique across both, so no result leaks between them."""
+    rng = random.Random(SEED)
+    control_jobs = corpus(rng, REQUESTS)
+    kill_jobs = corpus(rng, REQUESTS)
+    control = asyncio.run(run_phase(control_jobs, CLIENTS))
+    kill_after = max(1, int(REQUESTS * KILL_FRACTION))
+    killed = asyncio.run(
+        run_phase(kill_jobs, CLIENTS, kill_after=kill_after)
+    )
+    return control, killed
+
+
+def test_server_resilience(publish):
+    from repro.experiments import render_table
+
+    control, killed = run_benchmark()
+
+    # Acceptance: a worker crash costs latency, never correctness.
+    assert control["errors"] == 0, control
+    assert killed["errors"] == 0, killed
+    assert killed["worker_restarts"] >= 1, killed
+    assert killed["recovery_s"] is not None
+    assert killed["recovery_s"] <= RECOVERY_CEILING_S, killed
+
+    rows = [
+        [
+            "control (no faults)",
+            f"{control['throughput_rps']:.1f}/s",
+            f"{control['p50_ms']:.1f}",
+            f"{control['p99_ms']:.1f}",
+            "-",
+            "-",
+        ],
+        [
+            "shard 0 killed mid-load",
+            f"{killed['throughput_rps']:.1f}/s",
+            f"{killed['p50_ms']:.1f}",
+            f"{killed['p99_ms']:.1f}",
+            f"{killed['recovery_s'] * 1e3:.0f} ms",
+            f"{killed['retries_used']}",
+        ],
+    ]
+    publish(
+        "server_resilience",
+        render_table(
+            ["phase", "throughput", "p50 ms", "p99 ms", "recovery", "retries"],
+            rows,
+            title=(
+                f"Server resilience - {REQUESTS} unique requests x "
+                f"{CLIENTS} retrying clients on {SHARDS} shards; "
+                f"worker killed after {int(KILL_FRACTION * 100)}% "
+                f"completed, {killed['errors']} errors, restart in "
+                f"{killed['recovery_s'] * 1e3:.0f} ms"
+            ),
+        ),
+        data={
+            "control": control,
+            "killed": killed,
+            "p99_ms": killed["p99_ms"],
+            "control_p99_ms": control["p99_ms"],
+            "recovery_ms": killed["recovery_s"] * 1e3,
+            "errors": control["errors"] + killed["errors"],
+            "retries_used": killed["retries_used"],
+            "worker_restarts": killed["worker_restarts"],
+        },
+    )
+
+
+async def smoke(total=40, clients=6):
+    """The CI smoke: a reduced kill run; zero failures and a restarted
+    shard required."""
+    rng = random.Random(SEED)
+    jobs = corpus(rng, total)
+    async with AnalysisServer(server_config()) as server:
+        latencies, errors, recovery_s, retries = await drive(
+            server,
+            jobs,
+            clients,
+            kill_after=max(1, int(total * KILL_FRACTION)),
+        )
+        restarts = server.pool.resilience.worker_restarts
+    print(
+        f"smoke: {len(latencies)}/{total} ok, {errors} failed, "
+        f"{restarts} restarts, {retries} retries, recovery "
+        f"{recovery_s * 1e3:.0f}ms, p99 "
+        f"{percentile(latencies, 0.99) * 1e3:.1f}ms"
+    )
+    assert errors == 0, f"{errors} requests failed"
+    assert len(latencies) == total
+    assert restarts >= 1, "the killed worker was never restarted"
+    assert recovery_s <= RECOVERY_CEILING_S
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced kill run; assert zero failures and >= 1 restart",
+    )
+    parser.add_argument("--requests", type=int, default=40)
+    args = parser.parse_args()
+    if args.smoke:
+        asyncio.run(smoke(args.requests))
+        print("server resilience smoke passed")
+    else:
+        raise SystemExit(
+            "run the full benchmark through pytest: "
+            "python -m pytest benchmarks/bench_server_resilience.py"
+        )

@@ -115,7 +115,7 @@ from .lis import (
     register_backend,
     simulate_trace,
 )
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 # The vectorized backend, the schedule oracle and the stochastic layer
 # need numpy, which is an optional dependency; resolve their names
@@ -138,6 +138,7 @@ _SERVER_EXPORTS = {
     "ServerClient",
     "ServerConfig",
     "QueueModel",
+    "RetryPolicy",
 }
 _STOCHASTIC_EXPORTS = {
     "MonteCarloResult",
@@ -198,6 +199,7 @@ __all__ = [
     "Port",
     "QsSolution",
     "QueueModel",
+    "RetryPolicy",
     "RtlSimulator",
     "ScheduleOracle",
     "ServerClient",

@@ -166,6 +166,58 @@ def build_parser() -> argparse.ArgumentParser:
         "mid-run and require full recovery",
     )
     chaos.add_argument(
+        "--server",
+        action="store_true",
+        help="run the *server* chaos campaign instead: boot an "
+        "in-process analysis server, kill shard workers, inject "
+        "executor faults, sever connections, and check the "
+        "termination/exactly-once/agreement/recovery invariants",
+    )
+    chaos.add_argument(
+        "--requests",
+        type=int,
+        default=70,
+        help="server campaign: requests per seed (default 70)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        default="0,1,2",
+        help="server campaign: comma-separated seeds (default 0,1,2)",
+    )
+    chaos.add_argument(
+        "--server-shards",
+        type=int,
+        default=2,
+        help="server campaign: engine shards (default 2)",
+    )
+    chaos.add_argument(
+        "--server-clients",
+        type=int,
+        default=8,
+        help="server campaign: concurrent retrying clients (default 8)",
+    )
+    chaos.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=0.4,
+        help="server campaign: hung-op watchdog threshold in seconds "
+        "(default 0.4)",
+    )
+    chaos.add_argument(
+        "--break-pools",
+        type=int,
+        default=0,
+        help="server campaign: pooled-engine worker processes to "
+        "terminate per seed (requires --engine-jobs > 1)",
+    )
+    chaos.add_argument(
+        "--engine-jobs",
+        type=int,
+        default=1,
+        help="server campaign: process-pool width per shard engine "
+        "(default 1: in-thread)",
+    )
+    chaos.add_argument(
         "--json",
         action="store_true",
         help="machine-readable report on stdout",
@@ -309,6 +361,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--prewarm",
         action="store_true",
         help="spin shard process pools up before accepting traffic",
+    )
+    serve.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="disable healthy-sibling failover routing when a "
+        "shard's circuit breaker is open",
+    )
+    serve.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="disable the shard supervisor (worker restarts and the "
+        "hung-op watchdog)",
+    )
+    serve.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=30.0,
+        help="hung-op watchdog threshold in seconds; 0 disables "
+        "(default 30)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="failures within the breaker window that trip a "
+        "shard's circuit breaker open (default 5)",
+    )
+    serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=5.0,
+        help="seconds an open breaker waits before letting a "
+        "half-open probe through (default 5)",
     )
     serve.add_argument(
         "--report",
@@ -611,6 +696,30 @@ def _resolve_system(name: str):
 
 def _cmd_chaos(args) -> int:
     import json as _json
+
+    if args.server:
+        from .server.chaos import ServerChaosConfig, run_server_campaign
+
+        seeds = tuple(
+            int(s) for s in str(args.seeds).split(",") if s.strip()
+        )
+        report = run_server_campaign(
+            ServerChaosConfig(
+                requests=args.requests,
+                seeds=seeds or (0,),
+                shards=args.server_shards,
+                clients=args.server_clients,
+                engine_jobs=args.engine_jobs,
+                hang_timeout=args.hang_timeout,
+                break_pools=args.break_pools,
+            )
+        )
+        if args.json:
+            print(_json.dumps(report.as_dict(), sort_keys=True,
+                              default=str))
+        else:
+            print(report.render())
+        return 0 if report.ok else 1
 
     from .faults import BACKENDS, engine_chaos_drill, run_campaign
 
@@ -1096,6 +1205,11 @@ def _cmd_serve(args) -> int:
         coalesce=not args.no_coalesce,
         window=args.window,
         prewarm=args.prewarm,
+        failover=not args.no_failover,
+        supervise=not args.no_supervise,
+        hang_timeout=args.hang_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     server = AnalysisServer(config)
 

@@ -23,20 +23,37 @@ or in-process::
     async with AnalysisServer(ServerConfig(port=0)) as server:
         ...  # server.port is bound
 
+Resilience: a :mod:`~repro.server.resilience` layer supervises the
+shard workers (restarts + hung-op watchdog), gates each shard behind
+a circuit breaker with healthy-sibling failover (content ops are
+pure, so re-routing is safe), serves disk-cache hits when every shard
+is down, and gives clients a jittered-backoff
+:class:`~repro.server.resilience.RetryPolicy`.  A seeded server-level
+chaos harness (:mod:`~repro.server.chaos`, ``repro chaos --server``)
+validates the whole stack against termination / exactly-once /
+agreement / recovery invariants.
+
 See :mod:`repro.server.app` for the HTTP surface,
 :mod:`repro.server.protocol` for the method table,
 :mod:`repro.server.coalesce` for single-flight semantics,
-:mod:`repro.server.pool` for sharding/admission, and
+:mod:`repro.server.pool` for sharding/admission,
+:mod:`repro.server.resilience` for supervision/breakers/retries, and
 :mod:`repro.server.qmodel` for the self-model.
 """
 
 from .app import AnalysisServer, ServerConfig
+from .chaos import (
+    ServerChaosConfig,
+    ServerChaosReport,
+    run_server_campaign,
+)
 from .client import ServerClient, ServerError
 from .coalesce import Coalescer
 from .metrics import ServerMetrics
 from .pool import ExecutionOutcome, ShardPool
 from .protocol import METHODS, Job, RpcError, jsonify, parse_job
 from .qmodel import QueueModel
+from .resilience import CircuitBreaker, RetryPolicy, ShardSupervisor
 
 __all__ = [
     "AnalysisServer",
@@ -53,4 +70,10 @@ __all__ = [
     "jsonify",
     "parse_job",
     "QueueModel",
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ShardSupervisor",
+    "ServerChaosConfig",
+    "ServerChaosReport",
+    "run_server_campaign",
 ]

@@ -7,9 +7,12 @@ framework.  The surface:
   ``simulate``, ``measure``, ``tail``); with ``params.stream: true``
   the response is chunked NDJSON progress events ending in the normal
   JSON-RPC envelope;
-* ``GET /stats`` -- counters, coalescing/cache rates, and the
-  queueing self-model (predicted vs observed latency);
-* ``GET /healthz`` -- liveness.
+* ``GET /stats`` -- counters, coalescing/cache rates, resilience
+  counters, and the queueing self-model (predicted vs observed
+  latency);
+* ``GET /healthz`` -- honest per-shard health (worker liveness,
+  breaker state, queue depth, heartbeat age); ``503`` when no shard
+  is serving, so load balancers can gate on it.
 
 Request lifecycle: parse -> validate into a :class:`~.protocol.Job`
 (whose content key *is* the engine cache key) -> coalesce in-flight
@@ -31,6 +34,7 @@ from .coalesce import Coalescer, InflightEntry
 from .metrics import ServerMetrics
 from .pool import ExecutionOutcome, ShardPool
 from .protocol import (
+    ALL_SHARDS_DOWN,
     DEADLINE_EXCEEDED,
     INVALID_REQUEST,
     OVERLOADED,
@@ -41,6 +45,7 @@ from .protocol import (
     parse_job,
 )
 from .qmodel import QueueModel
+from .resilience import ShardSupervisor
 
 __all__ = ["AnalysisServer", "ServerConfig"]
 
@@ -74,6 +79,20 @@ class ServerConfig:
     window: float = 60.0
     max_body: int = 16 * 1024 * 1024
     prewarm: bool = False
+    #: Route around shards whose breaker is open (content ops are
+    #: pure and content-keyed, so any shard can serve any key).
+    failover: bool = True
+    #: Run the :class:`~.resilience.ShardSupervisor` (worker restarts
+    #: + hung-op watchdog).
+    supervise: bool = True
+    #: Supervisor check cadence in seconds.
+    heartbeat_interval: float = 0.25
+    #: Hung-op watchdog threshold in seconds (0 disables).
+    hang_timeout: float = 30.0
+    #: Per-shard circuit-breaker tuning.
+    breaker_threshold: int = 5
+    breaker_window: float = 30.0
+    breaker_cooldown: float = 5.0
 
 
 class AnalysisServer:
@@ -101,6 +120,15 @@ class AnalysisServer:
             op_timeout=self.config.op_timeout,
             queue_limit=self.config.queue_limit,
             qmodel=self.qmodel,
+            failover=self.config.failover,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_window=self.config.breaker_window,
+            breaker_cooldown=self.config.breaker_cooldown,
+        )
+        self.supervisor = ShardSupervisor(
+            self.pool,
+            interval=self.config.heartbeat_interval,
+            hang_timeout=self.config.hang_timeout,
         )
         self._server: asyncio.base_events.Server | None = None
         self._started_at: float | None = None
@@ -116,6 +144,8 @@ class AnalysisServer:
 
     async def start(self) -> None:
         self.pool.start(prewarm=self.config.prewarm)
+        if self.config.supervise:
+            self.supervisor.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -131,6 +161,9 @@ class AnalysisServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # The supervisor must stop before the pool: a shutdown is not
+        # a crash it should "fix" by restarting workers.
+        await self.supervisor.close()
         await self.pool.close()
 
     async def __aenter__(self) -> "AnalysisServer":
@@ -247,8 +280,12 @@ class AnalysisServer:
                 keep_alive=False,
             )
         if method == "GET" and path == "/healthz":
+            health = self.pool.health()
             return self._json_response(
-                writer, {"ok": True}, keep_alive=keep_alive
+                writer,
+                health,
+                status=200 if health["ok"] else 503,
+                keep_alive=keep_alive,
             )
         if method == "GET" and path == "/stats":
             return self._json_response(
@@ -266,7 +303,14 @@ class AnalysisServer:
     def stats(self) -> dict:
         """The ``/stats`` document."""
         out = self.metrics.as_dict(
-            coalescer=self.coalescer, queue_depth=self.pool.depth()
+            coalescer=self.coalescer,
+            queue_depth=self.pool.depth(),
+            resilience={
+                **self.pool.resilience.as_dict(),
+                "breakers": [
+                    state.breaker.as_dict() for state in self.pool.states
+                ],
+            },
         )
         out["server"] = {
             "shards": self.config.shards,
@@ -294,7 +338,7 @@ class AnalysisServer:
         return {"jsonrpc": "2.0", "id": request_id, "result": result}
 
     def _http_status(self, error: RpcError) -> tuple[int, dict]:
-        if error.code == OVERLOADED:
+        if error.code in (OVERLOADED, ALL_SHARDS_DOWN):
             headers = {}
             if error.retry_after is not None:
                 headers["Retry-After"] = f"{error.retry_after:.3f}"
@@ -394,7 +438,7 @@ class AnalysisServer:
                 "(the computation continues for other subscribers)",
             ) from None
         except RpcError as exc:
-            if exc.code == OVERLOADED:
+            if exc.code in (OVERLOADED, ALL_SHARDS_DOWN):
                 self.metrics.shed += 1
             elif exc.code == DEADLINE_EXCEEDED:
                 self.metrics.deadline_exceeded += 1

@@ -7,15 +7,26 @@ connection per instance.  Open one client per concurrent task::
 
     async with ServerClient("127.0.0.1", port) as client:
         result = await client.call("analyze", {"system": "fig15"})
+
+Resilience: pass a :class:`~.resilience.RetryPolicy` and the client
+retries *transient* failures -- dropped keep-alive connections
+(automatic reconnect), overload sheds, crashed/wedged workers,
+shutdowns -- with jittered exponential backoff that honors the
+server's ``Retry-After`` hint and an optional total-time budget.
+Retries are safe by construction: content-keyed coalescing and caching
+on the server make a re-sent request land on the same in-flight
+future or cache entry, never a duplicated computation.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import AsyncIterator
 
 from .protocol import RpcError
+from .resilience import RetryPolicy
 
 __all__ = ["ServerClient", "ServerError"]
 
@@ -37,11 +48,23 @@ class ServerError(RpcError):
 
 
 class ServerClient:
-    """One keep-alive connection; calls are serial per client."""
+    """One keep-alive connection; calls are serial per client.
 
-    def __init__(self, host: str, port: int) -> None:
+    Args:
+        host / port: The server address.
+        retry: Optional :class:`~.resilience.RetryPolicy`; None (the
+            default) preserves fail-fast semantics -- every transport
+            or transient server error surfaces immediately.
+    """
+
+    def __init__(
+        self, host: str, port: int, retry: RetryPolicy | None = None
+    ) -> None:
         self.host = host
         self.port = port
+        self.retry = retry
+        #: Transparent retries performed (tests / benchmarks).
+        self.retries_used = 0
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._next_id = 0
@@ -96,7 +119,12 @@ class ServerClient:
         status_line = await self._reader.readline()
         if not status_line:
             raise ConnectionError("server closed the connection")
-        status = int(status_line.split()[1])
+        parts = status_line.split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(
+                f"malformed HTTP status line: {status_line!r}"
+            )
+        status = int(parts[1])
         headers: dict[str, str] = {}
         while True:
             line = await self._reader.readline()
@@ -120,7 +148,18 @@ class ServerClient:
         assert self._reader is not None
         while True:
             size_line = await self._reader.readline()
-            size = int(size_line.strip() or b"0", 16)
+            if not size_line.strip():
+                raise ConnectionError(
+                    "connection dropped inside a chunked stream"
+                )
+            # RFC 9112: a chunk size may carry extensions after ';'.
+            size_field = size_line.split(b";", 1)[0].strip()
+            try:
+                size = int(size_field, 16)
+            except ValueError:
+                raise ConnectionError(
+                    f"malformed chunk size: {size_line!r}"
+                ) from None
             if size == 0:
                 await self._reader.readline()  # trailing CRLF
                 return
@@ -175,7 +214,54 @@ class ServerClient:
         deadline_ms: float | None = None,
     ) -> dict:
         """One JSON-RPC call; the ``result`` object (``{"value": ...,
-        "meta": ...}``) on success, :class:`ServerError` otherwise."""
+        "meta": ...}``) on success, :class:`ServerError` otherwise.
+        With a :class:`~.resilience.RetryPolicy` set, transient
+        failures are retried (see the class docstring)."""
+        policy = self.retry
+        if policy is None:
+            return await self._call_once(method, params, deadline_ms)
+        t0 = time.monotonic()
+        budget = policy.budget_s
+        if deadline_ms is not None:
+            client_budget = deadline_ms / 1e3
+            budget = (
+                client_budget if budget is None
+                else min(budget, client_budget)
+            )
+        attempt = 0
+        while True:
+            try:
+                return await self._call_once(method, params, deadline_ms)
+            except (
+                ConnectionError,
+                asyncio.IncompleteReadError,
+                EOFError,
+                ServerError,
+            ) as exc:
+                # The connection state is unknown after a transport
+                # error; drop it so the retry reconnects cleanly.
+                if not isinstance(exc, ServerError):
+                    await self.aclose()
+                if attempt >= policy.retries or not policy.retryable(exc):
+                    raise
+                delay = policy.delay(
+                    attempt, getattr(exc, "retry_after", None)
+                )
+                if (
+                    budget is not None
+                    and time.monotonic() - t0 + delay >= budget
+                ):
+                    raise  # a retry could not finish inside the budget
+                attempt += 1
+                self.retries_used += 1
+                await asyncio.sleep(delay)
+
+    async def _call_once(
+        self,
+        method: str,
+        params: dict,
+        deadline_ms: float | None,
+    ) -> dict:
         body = self._rpc_body(method, params, deadline_ms)
         status, headers, payload = await self._request(
             "POST", "/rpc", body
@@ -190,7 +276,9 @@ class ServerClient:
         params: dict,
         deadline_ms: float | None = None,
     ) -> tuple[list[dict], dict]:
-        """A streaming call: ``(progress_events, result)``."""
+        """A streaming call: ``(progress_events, result)``.  Streams
+        are not retried -- progress events are not idempotent to
+        re-deliver."""
         body = self._rpc_body(method, params, deadline_ms, stream=True)
         status, headers, payload = await self._request(
             "POST", "/rpc", body
@@ -218,3 +306,10 @@ class ServerClient:
             "GET", "/healthz"
         )
         return status == 200 and json.loads(payload).get("ok") is True
+
+    async def health(self) -> dict:
+        """The full per-shard ``/healthz`` document (any status)."""
+        _status, _headers, payload = await self._request(
+            "GET", "/healthz"
+        )
+        return json.loads(payload.decode("utf-8"))

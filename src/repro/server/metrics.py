@@ -74,7 +74,10 @@ class ServerMetrics:
         return self.cache_served / self.executed if self.executed else 0.0
 
     def as_dict(
-        self, coalescer=None, queue_depth: int | None = None
+        self,
+        coalescer=None,
+        queue_depth: int | None = None,
+        resilience: dict | None = None,
     ) -> dict:
         out: dict = {
             "requests": {
@@ -107,4 +110,6 @@ class ServerMetrics:
             }
         if queue_depth is not None:
             out["queue_depth"] = queue_depth
+        if resilience is not None:
+            out["resilience"] = resilience
         return out

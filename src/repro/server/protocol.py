@@ -44,6 +44,9 @@ __all__ = [
     "OVERLOADED",
     "DEADLINE_EXCEEDED",
     "SHUTTING_DOWN",
+    "WORKER_CRASHED",
+    "WATCHDOG_TIMEOUT",
+    "ALL_SHARDS_DOWN",
 ]
 
 # JSON-RPC 2.0 pre-defined error codes...
@@ -57,6 +60,13 @@ OP_FAILED = -32000
 OVERLOADED = -32001
 DEADLINE_EXCEEDED = -32002
 SHUTTING_DOWN = -32003
+#: The shard worker running the job died before finishing it; the job
+#: produced no result and is safe to retry (content ops are pure).
+WORKER_CRASHED = -32004
+#: The hung-op watchdog killed the job's worker; safe to retry.
+WATCHDOG_TIMEOUT = -32005
+#: Every shard breaker is open and the disk cache had no answer.
+ALL_SHARDS_DOWN = -32006
 
 
 class RpcError(Exception):

@@ -88,6 +88,10 @@ class QueueModel:
         self._inflight = 0
         self._area = 0.0
         self._last_change = self._t0
+        # Supervisor disruptions (worker restarts, watchdog kills):
+        # markers for reading predicted-vs-observed across failures.
+        self.disruptions = 0
+        self._last_disruption: float | None = None
 
     # -- recording ----------------------------------------------------
 
@@ -119,6 +123,14 @@ class QueueModel:
         self.busy_seconds += service_s
         self._waits.append(wait_s)
         self._residences.append(wait_s + service_s)
+
+    def note_disruption(self) -> None:
+        """The supervisor restarted a worker or killed a hung op.
+        The model's state survives (waits recorded for orphans keep
+        the exactly-once accounting honest); the marker lets readers
+        correlate prediction error with failure events."""
+        self.disruptions += 1
+        self._last_disruption = self._clock()
 
     # -- estimates ----------------------------------------------------
 
@@ -200,6 +212,18 @@ class QueueModel:
             "mean_in_system": mean_inflight,
         }
 
+    def prediction_error(self) -> float | None:
+        """Relative error of the M/G/1 mean-wait forecast against the
+        observed mean wait: ``|pred - obs| / max(obs, 1ms)``.  None
+        until both sides exist.  The chaos harness asserts this
+        re-converges after recovery -- the self-model must keep
+        predicting *through* degraded modes."""
+        pred = self.predicted().get("mg1_wait_ms")
+        if pred is None or not self._waits:
+            return None
+        obs = sum(self._waits) / len(self._waits) * _MS
+        return abs(pred - obs) / max(obs, 1.0)
+
     def little(self) -> dict:
         """Little's Law cross-check: the time-averaged in-system count
         ``L`` against ``lambda * W`` from independent measurements."""
@@ -222,6 +246,13 @@ class QueueModel:
             "predicted": self.predicted(),
             "observed": self.observed(),
             "little": self.little(),
+            "disruptions": self.disruptions,
+            "last_disruption_age_s": (
+                None
+                if self._last_disruption is None
+                else self._clock() - self._last_disruption
+            ),
+            "prediction_error": self.prediction_error(),
         }
 
     def render(self) -> str:

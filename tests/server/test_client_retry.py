@@ -1,0 +1,391 @@
+"""Client hardening: HTTP parsing edge cases and the retry loop.
+
+These tests stand up *raw* asyncio socket servers speaking exactly
+the bytes under test -- truncated status lines, chunk extensions,
+dropped connections -- because the real server never emits them.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server import ServerClient, ServerError
+from repro.server.protocol import OVERLOADED, WORKER_CRASHED
+from repro.server.resilience import RetryPolicy
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _raw_server(handler):
+    """Start a one-connection-at-a-time raw server; returns
+    (server, port)."""
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+def _http(body: bytes, extra: str = "") -> bytes:
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
+        "Connection: close\r\n\r\n"
+    ).encode() + body
+
+
+class TestParsingHardening:
+    def test_malformed_status_line_raises_connection_error(self):
+        async def scenario():
+            async def handler(reader, writer):
+                await reader.readline()
+                writer.write(b"HTTP/1.1\r\n\r\n")  # no status code
+                await writer.drain()
+                writer.close()
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient("127.0.0.1", port)
+                with pytest.raises(ConnectionError) as excinfo:
+                    await client._request("GET", "/stats")
+                assert "malformed" in str(excinfo.value)
+                await client.aclose()
+
+        run(scenario())
+
+    def test_non_numeric_status_raises_connection_error(self):
+        async def scenario():
+            async def handler(reader, writer):
+                await reader.readline()
+                writer.write(b"HTTP/1.1 abc OK\r\n\r\n")
+                await writer.drain()
+                writer.close()
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient("127.0.0.1", port)
+                with pytest.raises(ConnectionError):
+                    await client._request("GET", "/stats")
+                await client.aclose()
+
+        run(scenario())
+
+    def test_chunk_size_extensions_are_accepted(self):
+        """RFC 9112 allows ``1a;name=value`` chunk sizes; the client
+        must parse up to the ``;``."""
+
+        async def scenario():
+            payload = b'{"ok": true, "chunked": "with-extension"}'
+
+            async def handler(reader, writer):
+                while not (await reader.readline()).strip() == b"":
+                    pass
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Transfer-Encoding: chunked\r\n"
+                    b"Connection: close\r\n\r\n"
+                )
+                half = len(payload) // 2
+                writer.write(
+                    f"{half:x};chunk-ext=1\r\n".encode()
+                    + payload[:half]
+                    + b"\r\n"
+                )
+                rest = len(payload) - half
+                writer.write(
+                    f"{rest:x} ; another\r\n".encode()
+                    + payload[half:]
+                    + b"\r\n"
+                )
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+                writer.close()
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient("127.0.0.1", port)
+                _status, _headers, body = await client._request(
+                    "GET", "/stats"
+                )
+                assert json.loads(body) == json.loads(payload)
+                await client.aclose()
+
+        run(scenario())
+
+    def test_malformed_chunk_size_raises_connection_error(self):
+        async def scenario():
+            async def handler(reader, writer):
+                while not (await reader.readline()).strip() == b"":
+                    pass
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Transfer-Encoding: chunked\r\n\r\n"
+                    b"zz\r\ngarbage\r\n"
+                )
+                await writer.drain()
+                writer.close()
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient("127.0.0.1", port)
+                with pytest.raises(ConnectionError) as excinfo:
+                    await client._request("GET", "/stats")
+                assert "chunk" in str(excinfo.value)
+                await client.aclose()
+
+        run(scenario())
+
+    def test_eof_inside_chunked_stream_raises_connection_error(self):
+        async def scenario():
+            async def handler(reader, writer):
+                while not (await reader.readline()).strip() == b"":
+                    pass
+                writer.write(
+                    b"HTTP/1.1 200 OK\r\n"
+                    b"Transfer-Encoding: chunked\r\n\r\n"
+                )
+                await writer.drain()
+                writer.close()  # die before any chunk
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient("127.0.0.1", port)
+                with pytest.raises(ConnectionError):
+                    await client._request("GET", "/stats")
+                await client.aclose()
+
+        run(scenario())
+
+
+class TestRetryLoop:
+    def test_reconnects_after_dropped_connection(self):
+        """First connection dies mid-request; the retrying client
+        must reconnect and succeed -- without a policy it must
+        surface the transport error."""
+
+        async def scenario():
+            result = {"value": 42, "meta": {}}
+            attempts = {"n": 0}
+
+            async def handler(reader, writer):
+                attempts["n"] += 1
+                line = await reader.readline()
+                if attempts["n"] == 1:
+                    writer.close()  # sever mid-request
+                    return
+                while line.strip():
+                    line = await reader.readline()
+                # (ignore the body; headers were drained above)
+                envelope = {"jsonrpc": "2.0", "id": 1, "result": result}
+                writer.write(_http(json.dumps(envelope).encode()))
+                await writer.drain()
+                writer.close()
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient(
+                    "127.0.0.1",
+                    port,
+                    retry=RetryPolicy(
+                        retries=2, base_s=0.01, cap_s=0.02, seed=0
+                    ),
+                )
+                got = await client.call("analyze", {"system": "fig1"})
+                assert got == result
+                assert client.retries_used == 1
+                await client.aclose()
+
+        run(scenario())
+
+    def test_no_policy_fails_fast(self):
+        async def scenario():
+            async def handler(reader, writer):
+                await reader.readline()
+                writer.close()
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient("127.0.0.1", port)
+                with pytest.raises(
+                    (ConnectionError, asyncio.IncompleteReadError)
+                ):
+                    await client.call("analyze", {"system": "fig1"})
+                assert client.retries_used == 0
+                await client.aclose()
+
+        run(scenario())
+
+    def test_retries_transient_rpc_error_until_success(self):
+        async def scenario():
+            attempts = {"n": 0}
+
+            async def handler(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        writer.close()
+                        return
+                    if not line.strip():
+                        attempts["n"] += 1
+                        if attempts["n"] < 3:
+                            envelope = {
+                                "jsonrpc": "2.0",
+                                "id": 1,
+                                "error": {
+                                    "code": WORKER_CRASHED,
+                                    "message": "shard died",
+                                },
+                            }
+                        else:
+                            envelope = {
+                                "jsonrpc": "2.0",
+                                "id": 1,
+                                "result": {"value": "ok"},
+                            }
+                        writer.write(
+                            _http(json.dumps(envelope).encode())
+                        )
+                        await writer.drain()
+                        writer.close()
+                        return
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient(
+                    "127.0.0.1",
+                    port,
+                    retry=RetryPolicy(
+                        retries=5, base_s=0.01, cap_s=0.02, seed=3
+                    ),
+                )
+                got = await client.call("analyze", {"system": "fig1"})
+                assert got == {"value": "ok"}
+                assert client.retries_used == 2
+                await client.aclose()
+
+        run(scenario())
+
+    def test_non_retryable_error_is_not_retried(self):
+        async def scenario():
+            attempts = {"n": 0}
+
+            async def handler(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        writer.close()
+                        return
+                    if not line.strip():
+                        attempts["n"] += 1
+                        envelope = {
+                            "jsonrpc": "2.0",
+                            "id": 1,
+                            "error": {
+                                "code": -32602,
+                                "message": "bad params",
+                            },
+                        }
+                        writer.write(
+                            _http(json.dumps(envelope).encode())
+                        )
+                        await writer.drain()
+                        writer.close()
+                        return
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient(
+                    "127.0.0.1",
+                    port,
+                    retry=RetryPolicy(retries=5, base_s=0.01, seed=0),
+                )
+                with pytest.raises(ServerError):
+                    await client.call("analyze", {"system": "fig1"})
+                assert attempts["n"] == 1
+                assert client.retries_used == 0
+                await client.aclose()
+
+        run(scenario())
+
+    def test_budget_bounds_total_retry_time(self):
+        """A server that always sheds with a large Retry-After: the
+        budget must stop the retry chain before sleeping past it."""
+
+        async def scenario():
+            attempts = {"n": 0}
+
+            async def handler(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        writer.close()
+                        return
+                    if not line.strip():
+                        attempts["n"] += 1
+                        envelope = {
+                            "jsonrpc": "2.0",
+                            "id": 1,
+                            "error": {
+                                "code": OVERLOADED,
+                                "message": "shed",
+                            },
+                        }
+                        body = json.dumps(envelope).encode()
+                        writer.write(
+                            _http(body, extra="Retry-After: 30.0\r\n")
+                        )
+                        await writer.drain()
+                        writer.close()
+                        return
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient(
+                    "127.0.0.1",
+                    port,
+                    retry=RetryPolicy(
+                        retries=5, base_s=0.01, budget_s=0.2, seed=0
+                    ),
+                )
+                t0 = asyncio.get_running_loop().time()
+                with pytest.raises(ServerError) as excinfo:
+                    await client.call("analyze", {"system": "fig1"})
+                elapsed = asyncio.get_running_loop().time() - t0
+                assert excinfo.value.code == OVERLOADED
+                assert excinfo.value.retry_after == pytest.approx(30.0)
+                assert elapsed < 1.0  # never slept toward 30s
+                assert attempts["n"] == 1
+                await client.aclose()
+
+        run(scenario())
+
+    def test_deadline_ms_acts_as_budget(self):
+        async def scenario():
+            async def handler(reader, writer):
+                await reader.readline()
+                writer.close()  # always sever
+
+            server, port = await _raw_server(handler)
+            async with server:
+                client = ServerClient(
+                    "127.0.0.1",
+                    port,
+                    retry=RetryPolicy(
+                        retries=50, base_s=0.05, cap_s=0.05, seed=0
+                    ),
+                )
+                t0 = asyncio.get_running_loop().time()
+                with pytest.raises(
+                    (ConnectionError, asyncio.IncompleteReadError)
+                ):
+                    await client.call(
+                        "analyze", {"system": "fig1"}, deadline_ms=150
+                    )
+                elapsed = asyncio.get_running_loop().time() - t0
+                assert elapsed < 2.0  # bounded by the deadline,
+                assert client.retries_used < 10  # not by 50 retries
+                await client.aclose()
+
+        run(scenario())

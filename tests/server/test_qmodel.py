@@ -171,3 +171,41 @@ class TestReporting:
 
     def test_render_survives_an_empty_model(self):
         assert QueueModel().render()
+
+
+class TestDisruptions:
+    def test_note_disruption_counts_and_ages(self):
+        clock = FakeClock()
+        model = QueueModel(clock=clock)
+        assert model.as_dict()["disruptions"] == 0
+        assert model.as_dict()["last_disruption_age_s"] is None
+        model.note_disruption()
+        model.note_disruption()
+        clock.advance(2.5)
+        data = model.as_dict()
+        assert data["disruptions"] == 2
+        assert data["last_disruption_age_s"] == pytest.approx(2.5)
+
+    def test_disruption_does_not_touch_accounting(self):
+        model, _ = loaded_model(cycles=10)
+        arrivals = model.arrivals_total
+        completed = model.observed()["completed"]
+        model.note_disruption()
+        assert model.arrivals_total == arrivals
+        assert model.observed()["completed"] == completed
+
+
+class TestPredictionError:
+    def test_none_until_observations_exist(self):
+        assert QueueModel().prediction_error() is None
+
+    def test_converges_on_a_steady_trace(self):
+        # Deterministic service, light load: M/G/1 (P-K with cv2=0)
+        # predicts a small wait; the observed wait is zero, so the
+        # relative error is bounded by the prediction itself over the
+        # 1ms floor -- finite and stable, which is what the chaos
+        # harness asserts post-recovery.
+        model, _ = loaded_model(cycles=200, service=0.01, gap=0.19)
+        error = model.prediction_error()
+        assert error is not None
+        assert math.isfinite(error)
